@@ -1,0 +1,45 @@
+#pragma once
+// Shared scaffolding for the paper-reproduction benches: geometric means,
+// fixed-width table printing, and the common flow parameters used by the
+// Table II / Fig. 9 harnesses.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/emorphic.hpp"
+
+namespace emorphic::bench {
+
+inline double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += std::log(std::max(v, 1e-12));
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+inline void print_rule(unsigned width = 118) {
+  for (unsigned i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// The flow configuration used by the QoR benches: matched to the paper's
+/// settings (5 rewrite iterations, SA with 4 annealing iterations, T1=2000,
+/// 4 threads in quality mode) but with laptop-scale e-graph limits.
+inline FlowParams paper_flow_params() {
+  FlowParams params;
+  params.rounds = 4;                      // [(st; if -g)(st; dch; map)] x4
+  params.rewrite.max_iterations = 5;      // Sec. IV-A
+  params.rewrite.max_enodes = 60000;      // laptop-scale stand-in for 256 GB
+  params.rewrite.time_limit_s = 10.0;
+  params.rewrite.max_matches_per_rule = 4000;
+  params.sa.iterations = 4;               // Sec. IV-A exit condition
+  params.sa.initial_temperature = 2000.0; // T1
+  params.sa.moves_per_iteration = 3;
+  params.sa.num_threads = 4;              // quality-prioritized mode
+  params.verify = false;                  // benches verify separately
+  return params;
+}
+
+}  // namespace emorphic::bench

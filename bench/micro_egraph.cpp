@@ -1,0 +1,134 @@
+// google-benchmark micro-benchmarks for the e-graph kernels: add/hashcons,
+// merge+rebuild, e-matching, greedy extraction (pruned vs. full), direct
+// conversion, and the mapper — the per-operation costs behind Tables II/III.
+
+#include <benchmark/benchmark.h>
+
+#include "core/emorphic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emorphic;
+
+Aig make_random_aig(unsigned pis, unsigned ands, std::uint64_t seed) {
+  Rng rng(seed);
+  Aig aig;
+  std::vector<Lit> pool;
+  for (unsigned i = 0; i < pis; ++i) pool.push_back(make_lit(aig.add_pi()));
+  for (unsigned k = 0; k < ands; ++k) {
+    Lit a = pool[rng.next_below(pool.size())];
+    Lit b = pool[rng.next_below(pool.size())];
+    if (rng.chance(0.5)) a = lit_not(a);
+    if (rng.chance(0.5)) b = lit_not(b);
+    pool.push_back(aig.make_and(a, b));
+  }
+  for (unsigned i = 0; i < 8; ++i) aig.add_po(pool[pool.size() - 1 - i]);
+  return aig;
+}
+
+void BM_EGraphAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    EGraph eg;
+    EClassId a = eg.add_var(0);
+    EClassId b = eg.add_var(1);
+    for (int i = 0; i < state.range(0); ++i) {
+      a = eg.add_and(a, b);
+    }
+    benchmark::DoNotOptimize(eg.num_enodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EGraphAdd)->Arg(1000)->Arg(10000);
+
+void BM_MergeRebuild(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    EGraph eg;
+    std::vector<EClassId> vars;
+    for (int i = 0; i < state.range(0); ++i) {
+      vars.push_back(eg.add_var(static_cast<std::uint32_t>(i)));
+    }
+    EClassId probe = eg.add_var(999999);
+    std::vector<EClassId> nots;
+    for (EClassId v : vars) nots.push_back(eg.add_and(v, probe));
+    state.ResumeTiming();
+    for (std::size_t i = 1; i < vars.size(); ++i) eg.merge(vars[0], vars[i]);
+    eg.rebuild();
+    benchmark::DoNotOptimize(eg.num_classes());
+  }
+}
+BENCHMARK(BM_MergeRebuild)->Arg(256)->Arg(2048);
+
+void BM_DirectConversion(benchmark::State& state) {
+  Aig aig = make_random_aig(32, static_cast<unsigned>(state.range(0)), 5);
+  for (auto _ : state) {
+    CircuitEGraph ce = aig_to_egraph(aig);
+    benchmark::DoNotOptimize(ce.egraph.num_enodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DirectConversion)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_EMatching(benchmark::State& state) {
+  Aig aig = make_random_aig(16, 400, 7);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerLimits limits;
+  limits.max_iterations = 2;
+  limits.max_enodes = 20000;
+  run_rewriting(ce.egraph, make_logic_rules(), limits);
+  auto rules = make_logic_rules();
+  const Pattern& pattern = rules[4].lhs;  // distributivity
+  for (auto _ : state) {
+    std::vector<Subst> matches;
+    for (EClassId id : ce.egraph.class_ids()) {
+      match_in_class(ce.egraph, pattern, id, matches, 100000);
+    }
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+BENCHMARK(BM_EMatching);
+
+void BM_GreedyExtractPruned(benchmark::State& state) {
+  Aig aig = make_random_aig(16, 600, 9);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerLimits limits;
+  limits.max_iterations = 3;
+  limits.max_enodes = 30000;
+  run_rewriting(ce.egraph, make_logic_rules(), limits);
+  CostModel cost{CostKind::kDepth};
+  bool prune = state.range(0) != 0;
+  for (auto _ : state) {
+    Extraction sol = greedy_extract(ce.egraph, cost, nullptr, prune);
+    benchmark::DoNotOptimize(sol.size());
+  }
+}
+BENCHMARK(BM_GreedyExtractPruned)->Arg(0)->Arg(1);
+
+void BM_TechMap(benchmark::State& state) {
+  Aig aig = make_random_aig(24, static_cast<unsigned>(state.range(0)), 11);
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  for (auto _ : state) {
+    MappedQor qor = map_qor(aig, lib);
+    benchmark::DoNotOptimize(qor.delay);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TechMap)->Arg(500)->Arg(4000);
+
+void BM_NpnCanon(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<Tt> tts;
+  for (int i = 0; i < 256; ++i) tts.push_back(rng.next() & tt_mask(4));
+  for (auto _ : state) {
+    Tt acc = 0;
+    for (Tt t : tts) acc ^= npn_canon(t);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NpnCanon);
+
+}  // namespace
+
+BENCHMARK_MAIN();

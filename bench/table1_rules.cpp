@@ -1,0 +1,94 @@
+// Reproduces Table I (and the rewrite-iteration ablation): the rule set by
+// class, each rule's soundness re-verified by truth table, and per-class
+// match/application counts on a real rewritten benchmark e-graph. Also
+// sweeps the iteration count to show why "few iterations" (5 in the paper)
+// already multiply the equivalence classes (Sec. I, insight 1).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "egraph/rules.hpp"
+
+using namespace emorphic;
+using namespace emorphic::bench;
+
+namespace {
+
+Tt eval_side(const Pattern& pattern, unsigned n) {
+  std::vector<Tt> value(pattern.nodes().size(), 0);
+  for (std::size_t i = 0; i < pattern.nodes().size(); ++i) {
+    const Pattern::Node& node = pattern.nodes()[i];
+    if (node.is_var) {
+      value[i] = tt_var(node.var, n);
+    } else {
+      switch (node.op) {
+        case Op::kConst0: value[i] = 0; break;
+        case Op::kConst1: value[i] = tt_mask(n); break;
+        case Op::kNot: value[i] = tt_not(value[node.children[0]], n); break;
+        case Op::kAnd: value[i] = value[node.children[0]] & value[node.children[1]]; break;
+        case Op::kOr: value[i] = value[node.children[0]] | value[node.children[1]]; break;
+        case Op::kXor: value[i] = value[node.children[0]] ^ value[node.children[1]]; break;
+        default: break;
+      }
+    }
+  }
+  return value[pattern.root()] & tt_mask(n);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: rewriting rules — soundness and activity ===\n\n");
+
+  // Build a representative rewritten e-graph to count matches on.
+  Aig circuit = make_epfl("multiplier");
+  CircuitEGraph ce = aig_to_egraph(dch_substitute(strash(circuit)));
+  RunnerLimits limits;
+  limits.max_iterations = 5;
+  limits.max_enodes = 30000;
+  limits.time_limit_s = 10.0;
+  limits.max_matches_per_rule = 3000;
+  RunnerReport report = run_rewriting(ce.egraph, make_logic_rules(), limits);
+
+  const auto rules = make_logic_rules();
+  auto classes = make_rule_classes();
+  std::printf("%-16s %-18s %-9s %10s %10s\n", "Class", "rule", "sound?",
+              "matches", "applied");
+  print_rule(70);
+  std::size_t rule_index = 0;
+  for (const auto& cls : classes) {
+    for (const auto& rw : cls.rules) {
+      unsigned n = std::max<unsigned>(1, rw.var_names.size());
+      bool sound = eval_side(rw.lhs, n) == eval_side(rw.rhs, n);
+      std::printf("%-16s %-18s %-9s %10zu %10zu\n", cls.class_name,
+                  rw.name.c_str(), sound ? "yes" : "NO!",
+                  report.rule_matches[rule_index],
+                  report.rule_applications[rule_index]);
+      ++rule_index;
+    }
+  }
+  std::printf("\nNote: commutativity (Table I rows 1-2) is absorbed "
+              "structurally — the e-graph stores commutative operators "
+              "child-sorted and the matcher tries both orders.\n");
+
+  // --- iteration-count ablation --------------------------------------------
+  std::printf("\nRewrite-iteration sweep (multiplier):\n");
+  std::printf("%-6s %12s %12s %12s %10s\n", "iters", "e-nodes", "classes",
+              "choices/cls", "time(s)");
+  print_rule(58);
+  for (unsigned iters : {1u, 2u, 3u, 5u, 8u}) {
+    CircuitEGraph fresh = aig_to_egraph(dch_substitute(strash(circuit)));
+    RunnerLimits lim = limits;
+    lim.max_iterations = iters;
+    RunnerReport rep = run_rewriting(fresh.egraph, make_logic_rules(), lim);
+    std::size_t enodes = fresh.egraph.num_enodes();
+    std::size_t ncls = fresh.egraph.num_classes();
+    std::printf("%-6u %12zu %12zu %12.2f %10.2f (%s)\n", iters, enodes, ncls,
+                static_cast<double>(enodes) / static_cast<double>(ncls),
+                rep.total_seconds, stop_reason_name(rep.stop_reason));
+  }
+  std::printf("\nShape target: a handful of iterations already yields many "
+              "equivalent choices per class (Sec. I, insight 1); growth is "
+              "capped by the node limit, as on the paper's server by memory.\n");
+  return 0;
+}

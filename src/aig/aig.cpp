@@ -1,0 +1,155 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emorphic {
+
+Aig::Aig() {
+  nodes_.push_back(Node{NodeType::kConst0, 0, 0});  // variable 0
+}
+
+Var Aig::add_pi(std::string name) {
+  Var v = static_cast<Var>(nodes_.size());
+  Node node;
+  node.type = NodeType::kPi;
+  node.fanin0 = static_cast<Lit>(pis_.size());
+  nodes_.push_back(node);
+  pis_.push_back(v);
+  if (name.empty()) name = "pi" + std::to_string(pis_.size() - 1);
+  pi_names_.push_back(std::move(name));
+  return v;
+}
+
+std::uint32_t Aig::add_po(Lit lit, std::string name) {
+  assert(lit_var(lit) < nodes_.size());
+  std::uint32_t index = static_cast<std::uint32_t>(pos_.size());
+  pos_.push_back(lit);
+  if (name.empty()) name = "po" + std::to_string(index);
+  po_names_.push_back(std::move(name));
+  return index;
+}
+
+Lit Aig::make_and(Lit a, Lit b) {
+  assert(lit_var(a) < nodes_.size() && lit_var(b) < nodes_.size());
+  // Constant propagation.
+  if (a == kLitFalse || b == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (b == kLitTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  // Canonical operand order for strashing.
+  if (a > b) std::swap(a, b);
+  std::uint64_t key = and_key(a, b);
+  auto it = strash_.find(key);
+  if (it != strash_.end()) return make_lit(it->second);
+  Var v = static_cast<Var>(nodes_.size());
+  Node node;
+  node.type = NodeType::kAnd;
+  node.fanin0 = a;
+  node.fanin1 = b;
+  nodes_.push_back(node);
+  strash_.emplace(key, v);
+  ++num_ands_;
+  return make_lit(v);
+}
+
+Lit Aig::make_and_n(std::vector<Lit> lits) {
+  if (lits.empty()) return kLitTrue;
+  // Balanced reduction keeps depth logarithmic in the operand count.
+  while (lits.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((lits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+      next.push_back(make_and(lits[i], lits[i + 1]));
+    }
+    if (lits.size() % 2 == 1) next.push_back(lits.back());
+    lits = std::move(next);
+  }
+  return lits[0];
+}
+
+Lit Aig::make_or_n(std::vector<Lit> lits) {
+  for (auto& l : lits) l = lit_not(l);
+  return lit_not(make_and_n(std::move(lits)));
+}
+
+std::vector<std::uint32_t> Aig::levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (Var v = 1; v < nodes_.size(); ++v) {
+    if (nodes_[v].type != NodeType::kAnd) continue;
+    level[v] = 1 + std::max(level[lit_var(nodes_[v].fanin0)],
+                            level[lit_var(nodes_[v].fanin1)]);
+  }
+  return level;
+}
+
+std::uint32_t Aig::num_levels() const {
+  auto level = levels();
+  std::uint32_t depth = 0;
+  for (Lit po : pos_) depth = std::max(depth, level[lit_var(po)]);
+  return depth;
+}
+
+std::vector<std::uint32_t> Aig::fanout_counts() const {
+  std::vector<std::uint32_t> count(nodes_.size(), 0);
+  for (Var v = 1; v < nodes_.size(); ++v) {
+    if (nodes_[v].type != NodeType::kAnd) continue;
+    ++count[lit_var(nodes_[v].fanin0)];
+    ++count[lit_var(nodes_[v].fanin1)];
+  }
+  for (Lit po : pos_) ++count[lit_var(po)];
+  return count;
+}
+
+std::vector<Var> Aig::topo_order() const {
+  std::vector<Var> order;
+  order.reserve(nodes_.size() - 1);
+  for (Var v = 1; v < nodes_.size(); ++v) order.push_back(v);
+  return order;
+}
+
+Aig Aig::cleanup() const {
+  Aig out = Aig::like(*this);
+  // old variable -> new literal (identity on complementation handled below)
+  std::vector<Lit> map(nodes_.size(), kLitFalse);
+  map[0] = kLitFalse;
+  for (std::uint32_t i = 0; i < pis_.size(); ++i) {
+    map[pis_[i]] = make_lit(out.pis()[i]);
+  }
+  // Mark the cone of the POs.
+  std::vector<bool> used(nodes_.size(), false);
+  for (Lit po : pos_) used[lit_var(po)] = true;
+  for (Var v = static_cast<Var>(nodes_.size()) - 1; v >= 1; --v) {
+    if (!used[v] || nodes_[v].type != NodeType::kAnd) continue;
+    used[lit_var(nodes_[v].fanin0)] = true;
+    used[lit_var(nodes_[v].fanin1)] = true;
+  }
+  // Rebuild in topological order (re-strashes as it goes).
+  for (Var v = 1; v < nodes_.size(); ++v) {
+    if (!used[v] || nodes_[v].type != NodeType::kAnd) continue;
+    Lit a = map[lit_var(nodes_[v].fanin0)];
+    Lit b = map[lit_var(nodes_[v].fanin1)];
+    a = lit_notcond(a, lit_is_compl(nodes_[v].fanin0));
+    b = lit_notcond(b, lit_is_compl(nodes_[v].fanin1));
+    map[v] = out.make_and(a, b);
+  }
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    Lit po = pos_[i];
+    out.set_po(i, lit_notcond(map[lit_var(po)], lit_is_compl(po)));
+  }
+  return out;
+}
+
+Aig Aig::like(const Aig& proto) {
+  Aig out;
+  for (std::uint32_t i = 0; i < proto.num_pis(); ++i) {
+    out.add_pi(proto.pi_name(i));
+  }
+  for (std::uint32_t i = 0; i < proto.num_pos(); ++i) {
+    out.add_po(kLitFalse, proto.po_name(i));
+  }
+  return out;
+}
+
+}  // namespace emorphic

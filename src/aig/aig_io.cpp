@@ -1,0 +1,288 @@
+#include "aig/aig_io.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace emorphic {
+
+// ---------------------------------------------------------------------------
+// Equation format
+// ---------------------------------------------------------------------------
+
+std::string write_equations(const Aig& aig) {
+  std::ostringstream out;
+  out << "INORDER =";
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    out << ' ' << aig.pi_name(i);
+  }
+  out << ";\n";
+  out << "OUTORDER =";
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    out << ' ' << aig.po_name(i);
+  }
+  out << ";\n";
+
+  auto lit_name = [&](Lit l) -> std::string {
+    std::string base;
+    Var v = lit_var(l);
+    if (aig.is_const0(v)) {
+      return lit_is_compl(l) ? "1" : "0";
+    }
+    if (aig.is_pi(v)) {
+      base = aig.pi_name(aig.pi_index(v));
+    } else {
+      base = "n" + std::to_string(v);
+    }
+    return lit_is_compl(l) ? "!" + base : base;
+  };
+
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) continue;
+    out << 'n' << v << " = " << lit_name(aig.fanin0(v)) << " & "
+        << lit_name(aig.fanin1(v)) << ";\n";
+  }
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    out << aig.po_name(i) << " = " << lit_name(aig.po(i)) << ";\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Recursive-descent parser for the expression grammar:
+//   expr   := term ( ('|' | '^') term )*
+//   term   := factor ( '&' factor )*
+//   factor := '!' factor | '(' expr ')' | name | '0' | '1'
+class EquationParser {
+ public:
+  EquationParser(const std::string& text, Aig& aig) : text_(text), aig_(aig) {}
+
+  void run() {
+    while (skip_ws(), pos_ < text_.size()) {
+      parse_statement();
+    }
+    // Resolve POs now that every name is defined.
+    for (const auto& [name, index] : po_order_) {
+      auto it = defs_.find(name);
+      if (it == defs_.end()) {
+        throw std::runtime_error("equation format: undefined output " + name);
+      }
+      aig_.set_po(index, it->second);
+    }
+  }
+
+ private:
+  void parse_statement() {
+    std::string name = parse_name();
+    skip_ws();
+    expect('=');
+    if (name == "INORDER") {
+      while (skip_ws(), peek() != ';') {
+        std::string pi = parse_name();
+        Var v = aig_.add_pi(pi);
+        defs_[pi] = make_lit(v);
+      }
+      expect(';');
+    } else if (name == "OUTORDER") {
+      while (skip_ws(), peek() != ';') {
+        std::string po = parse_name();
+        po_order_.emplace_back(po, aig_.add_po(kLitFalse, po));
+      }
+      expect(';');
+    } else {
+      Lit value = parse_expr();
+      skip_ws();
+      expect(';');
+      defs_[name] = value;
+    }
+  }
+
+  Lit parse_expr() {
+    Lit acc = parse_term();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        acc = aig_.make_or(acc, parse_term());
+      } else if (pos_ < text_.size() && text_[pos_] == '^') {
+        ++pos_;
+        acc = aig_.make_xor(acc, parse_term());
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Lit parse_term() {
+    Lit acc = parse_factor();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '&') {
+        ++pos_;
+        acc = aig_.make_and(acc, parse_factor());
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Lit parse_factor() {
+    skip_ws();
+    char c = peek();
+    if (c == '!') {
+      ++pos_;
+      return lit_not(parse_factor());
+    }
+    if (c == '(') {
+      ++pos_;
+      Lit inner = parse_expr();
+      skip_ws();
+      expect(')');
+      return inner;
+    }
+    std::string name = parse_name();
+    if (name == "0") return kLitFalse;
+    if (name == "1") return kLitTrue;
+    auto it = defs_.find(name);
+    if (it == defs_.end()) {
+      throw std::runtime_error("equation format: undefined signal " + name);
+    }
+    return it->second;
+  }
+
+  static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '[' || c == ']' || c == '.';
+  }
+
+  std::string parse_name() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      throw std::runtime_error("equation format: expected name at offset " +
+                               std::to_string(pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  void skip_ws() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      // '#' comments to end of line
+      if (pos_ < text_.size() && text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("equation format: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("equation format: expected '") + c +
+                               "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  const std::string& text_;
+  Aig& aig_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, Lit> defs_;
+  std::vector<std::pair<std::string, std::uint32_t>> po_order_;
+};
+
+}  // namespace
+
+Aig read_equations(const std::string& text) {
+  Aig aig;
+  EquationParser(text, aig).run();
+  return aig;
+}
+
+// ---------------------------------------------------------------------------
+// ASCII AIGER
+// ---------------------------------------------------------------------------
+
+std::string write_aiger(const Aig& aig) {
+  // AIGER requires PIs first, then ANDs; our variable numbering already
+  // guarantees topological order, but PIs may interleave with ANDs, so remap.
+  std::vector<std::uint32_t> var_to_aiger(aig.num_nodes(), 0);
+  std::uint32_t next = 1;
+  for (Var v : aig.pis()) var_to_aiger[v] = next++;
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (aig.is_and(v)) var_to_aiger[v] = next++;
+  }
+  auto to_aiger_lit = [&](Lit l) {
+    return 2 * var_to_aiger[lit_var(l)] + (lit_is_compl(l) ? 1u : 0u);
+  };
+
+  std::ostringstream out;
+  std::uint32_t m = aig.num_pis() + aig.num_ands();
+  out << "aag " << m << ' ' << aig.num_pis() << " 0 " << aig.num_pos() << ' '
+      << aig.num_ands() << "\n";
+  for (Var v : aig.pis()) out << 2 * var_to_aiger[v] << "\n";
+  for (Lit po : aig.pos()) out << to_aiger_lit(po) << "\n";
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) continue;
+    out << 2 * var_to_aiger[v] << ' ' << to_aiger_lit(aig.fanin0(v)) << ' '
+        << to_aiger_lit(aig.fanin1(v)) << "\n";
+  }
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    out << 'i' << i << ' ' << aig.pi_name(i) << "\n";
+  }
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    out << 'o' << i << ' ' << aig.po_name(i) << "\n";
+  }
+  return out.str();
+}
+
+Aig read_aiger(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  in >> magic >> m >> i >> l >> o >> a;
+  if (magic != "aag") throw std::runtime_error("aiger: expected 'aag' header");
+  if (l != 0) throw std::runtime_error("aiger: latches not supported");
+
+  Aig aig;
+  std::vector<Lit> map(2 * (m + 1), kLitFalse);
+  map[0] = kLitFalse;
+  map[1] = kLitTrue;
+
+  std::vector<std::uint32_t> pi_lits(i);
+  for (auto& lit : pi_lits) {
+    in >> lit;
+    Var v = aig.add_pi();
+    map[lit] = make_lit(v);
+    map[lit ^ 1] = lit_not(make_lit(v));
+  }
+  std::vector<std::uint32_t> po_lits(o);
+  for (auto& lit : po_lits) in >> lit;
+
+  for (std::uint32_t k = 0; k < a; ++k) {
+    std::uint32_t out_lit = 0, in0 = 0, in1 = 0;
+    in >> out_lit >> in0 >> in1;
+    if (!in) throw std::runtime_error("aiger: truncated AND section");
+    Lit f = aig.make_and(map[in0], map[in1]);
+    map[out_lit] = f;
+    map[out_lit ^ 1] = lit_not(f);
+  }
+  for (std::uint32_t lit : po_lits) aig.add_po(map[lit]);
+  return aig;
+}
+
+}  // namespace emorphic

@@ -1,0 +1,27 @@
+#pragma once
+// Circuit I/O:
+//  * the "equation format" the paper's pre/post-processing steps speak
+//    (ABC-style: `INORDER`/`OUTORDER` declarations plus one assignment per
+//    line over !, &, |, ^ and parentheses);
+//  * ASCII AIGER (`aag`), the standard AIG interchange format.
+
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// Serialize to equation format. Every AND node becomes one assignment.
+std::string write_equations(const Aig& aig);
+
+/// Parse equation format; throws std::runtime_error on malformed input.
+/// Supports nested parentheses, n-ary & | ^, prefix !, constants 0/1.
+Aig read_equations(const std::string& text);
+
+/// Serialize to ASCII AIGER ("aag"). Combinational only.
+std::string write_aiger(const Aig& aig);
+
+/// Parse ASCII AIGER; throws std::runtime_error on malformed input or latches.
+Aig read_aiger(const std::string& text);
+
+}  // namespace emorphic

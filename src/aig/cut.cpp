@@ -1,0 +1,128 @@
+#include "aig/cut.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emorphic {
+
+bool Cut::subset_of(const Cut& other) const {
+  unsigned j = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    while (j < other.size && other.leaves[j] < leaves[i]) ++j;
+    if (j >= other.size || other.leaves[j] != leaves[i]) return false;
+  }
+  return true;
+}
+
+CutManager::CutManager(const Aig& aig, const CutParams& params)
+    : aig_(aig), params_(params) {
+  assert(params_.cut_size >= 2 && params_.cut_size <= kMaxCutSize);
+  level_ = aig_.levels();
+  cuts_.resize(aig_.num_nodes());
+  // Constant node: a single empty cut whose function is constant 0.
+  cuts_[0].push_back(Cut{});
+  for (Var v = 1; v < aig_.num_nodes(); ++v) {
+    if (aig_.is_pi(v)) {
+      Cut trivial;
+      trivial.size = 1;
+      trivial.leaves[0] = v;
+      trivial.tt = tt_var(0, 1);
+      cuts_[v].push_back(trivial);
+    } else {
+      compute(v);
+    }
+  }
+}
+
+bool CutManager::merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b,
+                       Cut& out) const {
+  // Merge sorted leaf sets, bailing out when exceeding K.
+  unsigned i = 0, j = 0, n = 0;
+  while (i < a.size || j < b.size) {
+    Var next;
+    if (j >= b.size || (i < a.size && a.leaves[i] <= b.leaves[j])) {
+      next = a.leaves[i];
+      if (j < b.size && b.leaves[j] == next) ++j;
+      ++i;
+    } else {
+      next = b.leaves[j];
+      ++j;
+    }
+    if (n >= params_.cut_size) return false;
+    out.leaves[n++] = next;
+  }
+  out.size = static_cast<std::uint8_t>(n);
+
+  // Compute the merged truth table: expand each operand function onto the
+  // union support, complement per the AIG edge, and conjoin.
+  std::array<std::uint8_t, 6> pos_a{}, pos_b{};
+  for (unsigned k = 0; k < a.size; ++k) {
+    pos_a[k] = static_cast<std::uint8_t>(
+        std::lower_bound(out.leaves.begin(), out.leaves.begin() + n, a.leaves[k]) -
+        out.leaves.begin());
+  }
+  for (unsigned k = 0; k < b.size; ++k) {
+    pos_b[k] = static_cast<std::uint8_t>(
+        std::lower_bound(out.leaves.begin(), out.leaves.begin() + n, b.leaves[k]) -
+        out.leaves.begin());
+  }
+  Tt ta = tt_expand(a.tt, a.size, n, pos_a);
+  Tt tb = tt_expand(b.tt, b.size, n, pos_b);
+  if (compl_a) ta = tt_not(ta, n);
+  if (compl_b) tb = tt_not(tb, n);
+  out.tt = ta & tb & tt_mask(n);
+  return true;
+}
+
+void CutManager::compute(Var v) {
+  const Lit f0 = aig_.fanin0(v);
+  const Lit f1 = aig_.fanin1(v);
+  const auto& cuts0 = cuts_[lit_var(f0)];
+  const auto& cuts1 = cuts_[lit_var(f1)];
+
+  std::vector<Cut> result;
+  result.reserve(params_.num_cuts + 1);
+
+  auto average_leaf_level = [&](const Cut& c) {
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < c.size; ++i) sum += level_[c.leaves[i]];
+    return c.size == 0 ? 0.0 : static_cast<double>(sum) / c.size;
+  };
+
+  for (const Cut& a : cuts0) {
+    for (const Cut& b : cuts1) {
+      Cut merged;
+      if (!merge(a, b, lit_is_compl(f0), lit_is_compl(f1), merged)) continue;
+      // Domination filtering: skip if an existing cut is a subset.
+      bool dominated = false;
+      for (const Cut& c : result) {
+        if (c.subset_of(merged)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(result, [&](const Cut& c) { return merged.subset_of(c); });
+      result.push_back(merged);
+    }
+  }
+
+  // Priority: smaller cuts first, then cuts whose leaves sit lower in the
+  // graph (a proxy for better arrival times, as in the `if` mapper).
+  std::sort(result.begin(), result.end(), [&](const Cut& x, const Cut& y) {
+    if (x.size != y.size) return x.size < y.size;
+    return average_leaf_level(x) < average_leaf_level(y);
+  });
+  if (result.size() > params_.num_cuts) result.resize(params_.num_cuts);
+
+  // The trivial cut is always kept (last) so mapping can fall back on it.
+  Cut trivial;
+  trivial.size = 1;
+  trivial.leaves[0] = v;
+  trivial.tt = tt_var(0, 1);
+  result.push_back(trivial);
+
+  cuts_[v] = std::move(result);
+}
+
+}  // namespace emorphic

@@ -1,0 +1,58 @@
+#pragma once
+// k-feasible cut enumeration with priority cuts, following Mishchenko et
+// al.'s priority-cut mapper [23] that both the paper's baseline flow
+// (`if -g -K 6 -C 8`) and the standard-cell mapper (`map`) are built on.
+//
+// Each cut carries its local function as a truth table over the (sorted)
+// leaves, computed incrementally during the merge, so complemented AIG edges
+// inside the cone are absorbed into the cut function.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/truth.hpp"
+
+namespace emorphic {
+
+inline constexpr unsigned kMaxCutSize = 6;
+
+struct Cut {
+  std::array<Var, kMaxCutSize> leaves{};  // sorted ascending, [0, size)
+  std::uint8_t size = 0;
+  Tt tt = 0;  // function of the root in terms of the leaves
+
+  bool is_trivial(Var v) const { return size == 1 && leaves[0] == v; }
+
+  /// True if every leaf of this cut also appears in `other` (domination).
+  bool subset_of(const Cut& other) const;
+};
+
+struct CutParams {
+  unsigned cut_size = 6;   // K: maximum number of leaves
+  unsigned num_cuts = 8;   // C: priority cuts kept per node (plus trivial)
+};
+
+/// Enumerates priority cuts bottom-up for every node of an AIG.
+class CutManager {
+ public:
+  CutManager(const Aig& aig, const CutParams& params);
+
+  /// Cuts of node `v`; the trivial cut is always last.
+  const std::vector<Cut>& cuts(Var v) const { return cuts_[v]; }
+
+  const Aig& aig() const { return aig_; }
+  const CutParams& params() const { return params_; }
+
+ private:
+  void compute(Var v);
+  bool merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b, Cut& out) const;
+
+  const Aig& aig_;
+  CutParams params_;
+  std::vector<std::vector<Cut>> cuts_;
+  std::vector<std::uint32_t> level_;  // used for cut priority ordering
+};
+
+}  // namespace emorphic

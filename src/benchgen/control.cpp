@@ -1,0 +1,165 @@
+#include "benchgen/control.hpp"
+
+#include <string>
+#include <vector>
+
+#include "benchgen/arith.hpp"
+
+namespace emorphic {
+
+Aig make_arbiter(unsigned clients) {
+  Aig aig;
+  std::vector<Lit> req(clients);
+  for (unsigned i = 0; i < clients; ++i) {
+    req[i] = make_lit(aig.add_pi("req[" + std::to_string(i) + "]"));
+  }
+  // Round-robin pointer, one-hot encoded (extra inputs, as in the EPFL
+  // arbiter which carries state from outside the combinational cloud).
+  std::vector<Lit> ptr(clients);
+  for (unsigned i = 0; i < clients; ++i) {
+    ptr[i] = make_lit(aig.add_pi("ptr[" + std::to_string(i) + "]"));
+  }
+
+  // For each possible pointer position p, fixed-priority arbitration over
+  // the rotated request vector; the grant is the OR over pointer positions
+  // of (ptr one-hot at p) & rotated-priority grant.
+  std::vector<Lit> grant(clients, kLitFalse);
+  for (unsigned p = 0; p < clients; ++p) {
+    Lit taken = kLitFalse;
+    for (unsigned k = 0; k < clients; ++k) {
+      unsigned i = (p + k) % clients;
+      Lit here = aig.make_and(req[i], lit_not(taken));
+      Lit gated = aig.make_and(here, ptr[p]);
+      grant[i] = aig.make_or(grant[i], gated);
+      taken = aig.make_or(taken, req[i]);
+    }
+  }
+  Lit busy = kLitFalse;
+  for (unsigned i = 0; i < clients; ++i) {
+    aig.add_po(grant[i], "grant[" + std::to_string(i) + "]");
+    busy = aig.make_or(busy, req[i]);
+  }
+  aig.add_po(busy, "busy");
+  return aig;
+}
+
+Aig make_mem_ctrl(const MemCtrlParams& params) {
+  Aig aig;
+  Word opcode = add_input_word(aig, "op", params.opcode_bits);
+  Word addr = add_input_word(aig, "addr", params.address_bits);
+  Word refresh_cnt = add_input_word(aig, "rfc", params.address_bits);
+  Word refresh_limit = add_input_word(aig, "rfl", params.address_bits);
+  std::vector<Lit> req(params.requesters);
+  for (unsigned i = 0; i < params.requesters; ++i) {
+    req[i] = make_lit(aig.add_pi("mreq[" + std::to_string(i) + "]"));
+  }
+  std::vector<Lit> bank_busy(params.banks);
+  for (unsigned i = 0; i < params.banks; ++i) {
+    bank_busy[i] = make_lit(aig.add_pi("busy[" + std::to_string(i) + "]"));
+  }
+
+  // Opcode decode: full one-hot decode of the opcode field.
+  const unsigned num_cmds = 1u << params.opcode_bits;
+  std::vector<Lit> cmd(num_cmds);
+  for (unsigned c = 0; c < num_cmds; ++c) {
+    std::vector<Lit> lits(params.opcode_bits);
+    for (unsigned k = 0; k < params.opcode_bits; ++k) {
+      lits[k] = ((c >> k) & 1u) ? opcode[k] : lit_not(opcode[k]);
+    }
+    cmd[c] = aig.make_and_n(lits);
+  }
+
+  // Bank decode from the low address bits; row decode from the high bits.
+  unsigned bank_bits = 0;
+  while ((1u << bank_bits) < params.banks) ++bank_bits;
+  std::vector<Lit> bank_sel(params.banks);
+  for (unsigned b = 0; b < params.banks; ++b) {
+    std::vector<Lit> lits(bank_bits);
+    for (unsigned k = 0; k < bank_bits; ++k) {
+      lits[k] = ((b >> k) & 1u) ? addr[k] : lit_not(addr[k]);
+    }
+    bank_sel[b] = aig.make_and_n(lits);
+  }
+  const unsigned row_bits = params.address_bits - bank_bits;
+  const unsigned num_rows = 1u << (row_bits < 8 ? row_bits : 8);
+  std::vector<Lit> row_sel(num_rows);
+  for (unsigned r = 0; r < num_rows; ++r) {
+    std::vector<Lit> lits;
+    for (unsigned k = 0; k < (row_bits < 8 ? row_bits : 8); ++k) {
+      lits.push_back(((r >> k) & 1u) ? addr[bank_bits + k]
+                                     : lit_not(addr[bank_bits + k]));
+    }
+    row_sel[r] = aig.make_and_n(lits);
+  }
+
+  // Refresh due: refresh counter has reached the programmed limit.
+  Lit no_borrow = kLitFalse;
+  ripple_sub(aig, refresh_cnt, refresh_limit, &no_borrow);
+  Lit refresh_due = no_borrow;
+
+  // Grant logic: fixed priority over requesters, masked by the selected
+  // bank being free and no refresh pending.
+  Lit bank_free = kLitFalse;
+  for (unsigned b = 0; b < params.banks; ++b) {
+    bank_free =
+        aig.make_or(bank_free, aig.make_and(bank_sel[b], lit_not(bank_busy[b])));
+  }
+  Lit allow = aig.make_and(bank_free, lit_not(refresh_due));
+  Lit taken = kLitFalse;
+  for (unsigned i = 0; i < params.requesters; ++i) {
+    Lit g = aig.make_and(aig.make_and(req[i], lit_not(taken)), allow);
+    aig.add_po(g, "mgrant[" + std::to_string(i) + "]");
+    taken = aig.make_or(taken, req[i]);
+  }
+
+  // Command strobes: a few representative outputs mixing decode products.
+  Lit is_read = cmd[1], is_write = cmd[2], is_act = cmd[3], is_pre = cmd[4];
+  for (unsigned b = 0; b < params.banks; ++b) {
+    Lit act = aig.make_and(is_act, bank_sel[b]);
+    Lit pre = aig.make_and(is_pre, bank_sel[b]);
+    Lit rw = aig.make_and(aig.make_or(is_read, is_write), bank_sel[b]);
+    aig.add_po(aig.make_and(act, allow), "act[" + std::to_string(b) + "]");
+    aig.add_po(aig.make_and(pre, lit_not(refresh_due)),
+               "pre[" + std::to_string(b) + "]");
+    aig.add_po(aig.make_and(rw, bank_free), "rw[" + std::to_string(b) + "]");
+  }
+  // Row strobes keyed on command+row decode (bulk of the logic cloud).
+  for (unsigned r = 0; r < num_rows; ++r) {
+    Lit strobe = aig.make_and(row_sel[r], aig.make_or(is_act, is_read));
+    aig.add_po(aig.make_and(strobe, allow), "row[" + std::to_string(r) + "]");
+  }
+  aig.add_po(refresh_due, "refresh");
+
+  // ECC path: Hamming-style syndrome over a data word, a corrected-data
+  // word, and a double-error flag — the datapath-ish half of a real memory
+  // controller's combinational cloud.
+  const unsigned data_bits = 4 * params.address_bits;
+  Word data = add_input_word(aig, "wdata", data_bits);
+  Word check = add_input_word(aig, "rcheck", 6);
+  std::vector<Lit> syndrome(6, kLitFalse);
+  for (unsigned s = 0; s < 6; ++s) {
+    Lit acc = kLitFalse;
+    for (unsigned i = 0; i < data_bits; ++i) {
+      // Bit i participates in syndrome s when bit s of (i+1) is set.
+      if (((i + 1) >> s) & 1u) acc = aig.make_xor(acc, data[i]);
+    }
+    syndrome[s] = aig.make_xor(acc, check[s]);
+    aig.add_po(syndrome[s], "synd[" + std::to_string(s) + "]");
+  }
+  // Single-error correction: flip the bit addressed by the syndrome.
+  for (unsigned i = 0; i < data_bits; ++i) {
+    std::vector<Lit> match_lits(6);
+    for (unsigned s = 0; s < 6; ++s) {
+      match_lits[s] = (((i + 1) >> s) & 1u) ? syndrome[s] : lit_not(syndrome[s]);
+    }
+    Lit flip = aig.make_and_n(match_lits);
+    aig.add_po(aig.make_xor(data[i], flip), "cdata[" + std::to_string(i) + "]");
+  }
+  // Any-error flag gated by the read command.
+  Lit any = kLitFalse;
+  for (unsigned s = 0; s < 6; ++s) any = aig.make_or(any, syndrome[s]);
+  aig.add_po(aig.make_and(any, is_read), "ecc_err");
+  return aig;
+}
+
+}  // namespace emorphic

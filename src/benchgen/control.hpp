@@ -1,0 +1,25 @@
+#pragma once
+// Control-dominated members of the EPFL-like benchmark family:
+// a round-robin priority arbiter and a memory-controller command/decode
+// block (both combinational, like the EPFL originals' logic clouds).
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// EPFL "arbiter": `clients` request lines, a round-robin pointer (extra
+/// PIs), one-hot grants plus a "busy" flag.
+Aig make_arbiter(unsigned clients);
+
+struct MemCtrlParams {
+  unsigned address_bits = 12;
+  unsigned opcode_bits = 4;
+  unsigned banks = 8;
+  unsigned requesters = 8;
+};
+
+/// EPFL "mem_ctrl": opcode decode, bank/row address decode, refresh
+/// comparison, ECC syndrome logic and grant logic for several requesters.
+Aig make_mem_ctrl(const MemCtrlParams& params = {});
+
+}  // namespace emorphic

@@ -1,0 +1,46 @@
+#include "benchgen/epfl.hpp"
+
+#include <stdexcept>
+
+#include "benchgen/arith.hpp"
+#include "benchgen/control.hpp"
+
+namespace emorphic {
+
+const std::vector<EpflSpec>& epfl_specs() {
+  static const std::vector<EpflSpec> specs = {
+      {"hyp", 420897, "12-bit hypotenuse (2 squarers + adder + sqrt)"},
+      {"div", 101860, "16-bit restoring divider"},
+      {"mem_ctrl", 84701, "8-bit address / 4-bank controller"},
+      {"log2", 54532, "16-bit fixed-point log2"},
+      {"multiplier", 50761, "12x12 array multiplier"},
+      {"sqrt", 41234, "16-bit restoring square root"},
+      {"square", 35685, "10-bit squarer"},
+      {"arbiter", 23619, "16-client round-robin arbiter"},
+      {"sin", 8948, "8-bit polynomial sine"},
+      {"adder", 2548, "12-bit ripple-carry adder"},
+  };
+  return specs;
+}
+
+Aig make_epfl(const std::string& name) {
+  if (name == "adder") return make_adder(12);
+  if (name == "sin") return make_sin(8);
+  if (name == "arbiter") return make_arbiter(16);
+  if (name == "square") return make_square(10);
+  if (name == "sqrt") return make_sqrt(16);
+  if (name == "multiplier") return make_multiplier(12);
+  if (name == "log2") return make_log2(16);
+  if (name == "mem_ctrl") return make_mem_ctrl({});
+  if (name == "div") return make_divisor(16);
+  if (name == "hyp") return make_hyp(12);
+  throw std::invalid_argument("unknown EPFL benchmark: " + name);
+}
+
+std::vector<std::string> epfl_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : epfl_specs()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace emorphic

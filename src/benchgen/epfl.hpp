@@ -1,0 +1,32 @@
+#pragma once
+// The EPFL-like benchmark registry: the ten circuits of Tables II/III at
+// laptop-scale default widths, with the paper's reference e-node counts for
+// side-by-side reporting. Widths are chosen so the full Table II sweep runs
+// in minutes; every generator also accepts custom scales via benchgen/arith
+// and benchgen/control directly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+struct EpflSpec {
+  std::string name;
+  std::uint32_t paper_enodes;  // Table III "# e-node" on the full-size EPFL circuit
+  const char* scale_note;      // what the default scaled instance is
+};
+
+/// The ten circuits in the paper's size order (largest first).
+const std::vector<EpflSpec>& epfl_specs();
+
+/// Generate a benchmark instance by name at the default scaled size.
+/// Throws std::invalid_argument for unknown names.
+Aig make_epfl(const std::string& name);
+
+/// All names, paper order.
+std::vector<std::string> epfl_names();
+
+}  // namespace emorphic

@@ -1,0 +1,41 @@
+#pragma once
+// Combinational equivalence checking, the role ABC's `cec` plays in the
+// paper (every E-morphic output is verified, Sec. IV-A):
+//  1. bit-parallel random simulation hunts for a quick counterexample,
+//  2. a SAT miter proves equivalence (bounded by a conflict budget, so the
+//     caller can trade effort for certainty on very large designs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+enum class CecStatus { kEquivalent, kNotEquivalent, kUndecided };
+
+struct CecResult {
+  CecStatus status = CecStatus::kUndecided;
+  /// On kNotEquivalent: one distinguishing input assignment (per PI).
+  std::vector<bool> counterexample;
+  std::uint64_t sat_conflicts = 0;
+  double seconds = 0.0;
+};
+
+struct CecParams {
+  unsigned sim_words = 16;            // 16*64 random patterns first
+  std::uint64_t conflict_limit = 200000;  // 0 = prove unboundedly
+  std::uint64_t seed = 0xc0ffee;
+  /// Wall-clock budget for the SAT proof; 0 = unbounded. Arithmetic miters
+  /// (multipliers!) can be genuinely hard, so large-design flows should
+  /// bound the effort and accept kUndecided.
+  double time_limit_s = 20.0;
+};
+
+/// Check functional equivalence of two AIGs with identical interfaces.
+CecResult cec(const Aig& a, const Aig& b, const CecParams& params = {});
+
+const char* cec_status_name(CecStatus status);
+
+}  // namespace emorphic

@@ -1,0 +1,231 @@
+#include "egraph/egraph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <unordered_set>
+
+namespace emorphic {
+
+EClassId EGraph::find(EClassId id) const {
+  // Path halving without mutation of logical state; parent_ is mutable
+  // in spirit but we keep the method const-friendly by local iteration.
+  while (parent_[id] != id) {
+    const_cast<EGraph*>(this)->parent_[id] = parent_[parent_[id]];
+    id = parent_[id];
+  }
+  return id;
+}
+
+ENode EGraph::canonicalize(ENode node) const {
+  for (unsigned i = 0; i < node.arity(); ++i) {
+    node.children[i] = find(node.children[i]);
+  }
+  // Commutative operators get a canonical child order so that hash-consing
+  // identifies AND(a,b) with AND(b,a) structurally. The commutativity
+  // rewrite rules are still sound — they simply find the node already there.
+  if ((node.op == Op::kAnd || node.op == Op::kOr || node.op == Op::kXor) &&
+      node.children[0] > node.children[1]) {
+    std::swap(node.children[0], node.children[1]);
+  }
+  return node;
+}
+
+EClassId EGraph::make_class(ENode node) {
+  EClassId id = static_cast<EClassId>(classes_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  classes_.emplace_back();
+  classes_[id].nodes.push_back(node);
+  return id;
+}
+
+EClassId EGraph::add(ENode node) {
+  node = canonicalize(node);
+  auto it = hashcons_.find(node);
+  if (it != hashcons_.end()) return find(it->second);
+  EClassId id = make_class(node);
+  hashcons_.emplace(node, id);
+  for (unsigned i = 0; i < node.arity(); ++i) {
+    classes_[node.children[i]].parents.emplace_back(node, id);
+  }
+  return id;
+}
+
+EClassId EGraph::lookup(ENode node) const {
+  node = canonicalize(node);
+  auto it = hashcons_.find(node);
+  return it == hashcons_.end() ? kNoEClass : find(it->second);
+}
+
+EClassId EGraph::merge(EClassId a, EClassId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return a;
+  // Union by rank; the loser's contents move into the winner.
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  parent_[b] = a;
+
+  auto& wa = classes_[a];
+  auto& wb = classes_[b];
+  wa.nodes.insert(wa.nodes.end(), wb.nodes.begin(), wb.nodes.end());
+  wa.parents.insert(wa.parents.end(), wb.parents.begin(), wb.parents.end());
+  wb.nodes.clear();
+  wb.nodes.shrink_to_fit();
+  wb.parents.clear();
+  wb.parents.shrink_to_fit();
+
+  worklist_.push_back(a);
+  return a;
+}
+
+void EGraph::repair(EClassId id) {
+  id = find(id);
+  EClass& cls = classes_[id];
+
+  // Re-canonicalize parents: hashcons entries keyed on stale child ids are
+  // replaced, and congruent parents (now structurally identical) merged.
+  std::vector<std::pair<ENode, EClassId>> old_parents;
+  old_parents.swap(cls.parents);
+
+  std::unordered_map<ENode, EClassId, ENodeHash> seen;
+  seen.reserve(old_parents.size());
+  for (auto& [pnode, pclass] : old_parents) {
+    hashcons_.erase(pnode);  // erase under old key (no-op if already gone)
+    ENode canon = canonicalize(pnode);
+    EClassId pcanon = find(pclass);
+    auto it = seen.find(canon);
+    if (it != seen.end()) {
+      // Congruence: two parents became identical -> their classes merge.
+      EClassId merged = merge(it->second, pcanon);
+      it->second = find(merged);
+    } else {
+      seen.emplace(canon, pcanon);
+    }
+  }
+  EClass& cls2 = classes_[find(id)];
+  for (auto& [canon, pclass] : seen) {
+    hashcons_[canon] = find(pclass);
+    cls2.parents.emplace_back(canon, find(pclass));
+  }
+
+  // Deduplicate the node list under canonical children.
+  EClass& cls3 = classes_[find(id)];
+  std::unordered_set<ENode, ENodeHash> uniq;
+  uniq.reserve(cls3.nodes.size());
+  std::vector<ENode> deduped;
+  deduped.reserve(cls3.nodes.size());
+  for (ENode& n : cls3.nodes) {
+    ENode canon = canonicalize(n);
+    if (uniq.insert(canon).second) deduped.push_back(canon);
+  }
+  cls3.nodes = std::move(deduped);
+}
+
+std::size_t EGraph::rebuild() {
+  std::size_t merges = 0;
+  bool repaired_any = !worklist_.empty();
+  while (!worklist_.empty()) {
+    std::vector<EClassId> todo;
+    todo.swap(worklist_);
+    std::unordered_set<EClassId> deduped;
+    for (EClassId id : todo) deduped.insert(find(id));
+    for (EClassId id : deduped) {
+      std::size_t before = worklist_.size();
+      repair(id);
+      merges += worklist_.size() - before;
+    }
+  }
+  // Final sweep: merges re-point child ids, so e-nodes stored in *parent*
+  // classes may hold stale children (and thereby duplicates). Repair only
+  // touched the merged classes; canonicalize everyone so that node lists,
+  // node counts, and the extractors all see one canonical copy per e-node.
+  if (repaired_any) {
+    for (EClassId id = 0; id < classes_.size(); ++id) {
+      if (find(id) != id) continue;
+      EClass& cls = classes_[id];
+      bool stale = false;
+      for (const ENode& n : cls.nodes) {
+        if (!(canonicalize(n) == n)) {
+          stale = true;
+          break;
+        }
+      }
+      if (!stale) continue;
+      std::unordered_set<ENode, ENodeHash> uniq;
+      uniq.reserve(cls.nodes.size());
+      std::vector<ENode> deduped_nodes;
+      deduped_nodes.reserve(cls.nodes.size());
+      for (const ENode& n : cls.nodes) {
+        ENode canon = canonicalize(n);
+        if (uniq.insert(canon).second) deduped_nodes.push_back(canon);
+      }
+      cls.nodes = std::move(deduped_nodes);
+    }
+  }
+  return merges;
+}
+
+std::size_t EGraph::num_classes() const {
+  std::size_t count = 0;
+  for (EClassId id = 0; id < classes_.size(); ++id) {
+    if (find(id) == id) ++count;
+  }
+  return count;
+}
+
+std::size_t EGraph::num_enodes() const {
+  std::size_t count = 0;
+  for (EClassId id = 0; id < classes_.size(); ++id) {
+    if (find(id) == id) count += classes_[id].nodes.size();
+  }
+  return count;
+}
+
+bool EGraph::check_invariants(std::string* why) const {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (is_dirty()) return fail("e-graph has pending merges (not rebuilt)");
+
+  std::unordered_map<ENode, EClassId, ENodeHash> seen;
+  for (EClassId id = 0; id < classes_.size(); ++id) {
+    if (find(id) != id) continue;  // non-root: contents were moved out
+    for (const ENode& n : classes_[id].nodes) {
+      ENode canon = canonicalize(n);
+      // 1. Stored nodes must already be canonical.
+      if (!(canon == n)) {
+        return fail("class " + std::to_string(id) + " holds a stale e-node");
+      }
+      // 2. Congruence: structurally identical nodes live in one class.
+      auto [it, inserted] = seen.emplace(canon, id);
+      if (!inserted && it->second != id) {
+        return fail("congruence violation: identical e-nodes in classes " +
+                    std::to_string(it->second) + " and " + std::to_string(id));
+      }
+      // 3. The hash-cons must resolve every stored node to its class.
+      auto hc = hashcons_.find(canon);
+      if (hc == hashcons_.end()) {
+        return fail("e-node missing from hashcons in class " + std::to_string(id));
+      }
+      if (find(hc->second) != id) {
+        return fail("hashcons maps an e-node of class " + std::to_string(id) +
+                    " to class " + std::to_string(find(hc->second)));
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<EClassId> EGraph::class_ids() const {
+  std::vector<EClassId> ids;
+  ids.reserve(classes_.size());
+  for (EClassId id = 0; id < classes_.size(); ++id) {
+    if (find(id) == id) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace emorphic

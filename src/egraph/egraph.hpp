@@ -1,0 +1,100 @@
+#pragma once
+// The e-graph: a congruence-closed union of equivalence classes of terms,
+// following egg's design [16]: hash-consed e-nodes, a union-find over
+// e-class ids, and deferred invariant restoration (`rebuild`).
+//
+// Non-destructive rewriting over this structure is what lets E-morphic keep
+// *every* intermediate structure of the circuit alive simultaneously, in
+// contrast to ABC's destructive local rewriting (Sec. I, insight 1).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/language.hpp"
+
+namespace emorphic {
+
+/// One equivalence class: the e-nodes it contains plus parent back-edges
+/// used for congruence repair.
+struct EClass {
+  std::vector<ENode> nodes;
+  /// (parent e-node as it was added, class the parent lives in)
+  std::vector<std::pair<ENode, EClassId>> parents;
+};
+
+class EGraph {
+ public:
+  EGraph() = default;
+
+  /// Add an e-node (children must be existing class ids); returns its class.
+  /// Hash-consing makes this idempotent.
+  EClassId add(ENode node);
+
+  // Convenience builders.
+  EClassId add_const0() { return add(ENode::const0()); }
+  EClassId add_const1() { return add(ENode::const1()); }
+  EClassId add_var(std::uint32_t symbol) { return add(ENode::var(symbol)); }
+  EClassId add_not(EClassId a) { return add(ENode::not_of(a)); }
+  EClassId add_and(EClassId a, EClassId b) { return add(ENode::and_of(a, b)); }
+  EClassId add_or(EClassId a, EClassId b) { return add(ENode::or_of(a, b)); }
+  EClassId add_xor(EClassId a, EClassId b) { return add(ENode::xor_of(a, b)); }
+
+  /// Assert two classes equal; returns the surviving root id.
+  /// Invariants are restored lazily by rebuild().
+  EClassId merge(EClassId a, EClassId b);
+
+  /// Restore hash-consing and congruence after a batch of merges
+  /// (egg's deferred rebuild). Returns the number of congruence-induced
+  /// merges performed.
+  std::size_t rebuild();
+
+  /// Canonical id of a class.
+  EClassId find(EClassId id) const;
+
+  /// Is this id its own canonical representative (a live class)?
+  bool is_root(EClassId id) const { return find(id) == id; }
+
+  const EClass& eclass(EClassId id) const { return classes_[find(id)]; }
+
+  /// Look up an e-node; returns kNoEClass when absent. Children are
+  /// canonicalized first. Valid only when the e-graph is clean (rebuilt).
+  EClassId lookup(ENode node) const;
+
+  /// Total number of e-classes ever created (== e-nodes ever added, since
+  /// every add() that misses the hash-cons creates exactly one class with
+  /// one node). O(1) upper bound on num_enodes(), used for growth limits.
+  std::size_t num_classes_created() const { return classes_.size(); }
+
+  /// Total number of live (canonical) e-classes.
+  std::size_t num_classes() const;
+  /// Total number of e-nodes across live classes.
+  std::size_t num_enodes() const;
+
+  /// All canonical class ids (stable order).
+  std::vector<EClassId> class_ids() const;
+
+  /// True if there are pending merges not yet rebuilt.
+  bool is_dirty() const { return !worklist_.empty(); }
+
+  /// Canonicalize an e-node's children in place and return it.
+  ENode canonicalize(ENode node) const;
+
+  /// Verify the congruence/hash-consing invariants of a *clean* (rebuilt)
+  /// e-graph; on failure, describes the violation in `why`. Used by tests
+  /// and fuzzing — O(total e-nodes).
+  bool check_invariants(std::string* why = nullptr) const;
+
+ private:
+  EClassId make_class(ENode node);
+  void repair(EClassId id);
+
+  std::vector<EClassId> parent_;        // union-find
+  std::vector<std::uint32_t> rank_;
+  std::vector<EClass> classes_;         // dense, indexed by id; only roots live
+  std::unordered_map<ENode, EClassId, ENodeHash> hashcons_;
+  std::vector<EClassId> worklist_;      // classes needing repair
+};
+
+}  // namespace emorphic

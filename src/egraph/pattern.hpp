@@ -1,0 +1,94 @@
+#pragma once
+// Syntactic patterns over the Boolean language and the e-matching procedure
+// that finds all their instances inside an e-graph — the "search" half of a
+// rewrite rule. The "apply" half instantiates the right-hand side under the
+// discovered substitution and merges it with the matched class.
+//
+// Commutative operators are stored child-sorted in the e-graph (see
+// EGraph::canonicalize), so the matcher tries both child orders for
+// AND/OR/XOR patterns instead of relying on explicit commutativity rules.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+
+namespace emorphic {
+
+/// Builder for pattern trees, e.g. Pat::and_(Pat::v("a"), Pat::not_(Pat::v("b"))).
+class Pat {
+ public:
+  static Pat v(const std::string& name);  // pattern variable
+  static Pat c0();
+  static Pat c1();
+  static Pat not_(Pat a);
+  static Pat and_(Pat a, Pat b);
+  static Pat or_(Pat a, Pat b);
+  static Pat xor_(Pat a, Pat b);
+
+  struct Node {
+    bool is_pattern_var = false;
+    std::string var_name;
+    Op op = Op::kConst0;
+    std::vector<Pat> children;
+  };
+
+  const Node& node() const { return *node_; }
+
+  /// Internal: wrap an already-built node (used by the static builders).
+  explicit Pat(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// A pattern compiled to a flat array with numbered pattern variables.
+class Pattern {
+ public:
+  struct Node {
+    bool is_var = false;
+    std::uint32_t var = 0;          // pattern-variable index
+    Op op = Op::kConst0;
+    std::array<std::int32_t, 2> children{{-1, -1}};  // indices into nodes_
+  };
+
+  /// Compile a Pat tree. `var_names` collects/receives the variable
+  /// numbering; share one vector between the LHS and RHS of a rule so that
+  /// substitutions line up.
+  static Pattern compile(const Pat& pat, std::vector<std::string>& var_names);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::int32_t root() const { return root_; }
+  std::uint32_t num_vars() const { return num_vars_; }
+  std::string to_string(const std::vector<std::string>& var_names) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::uint32_t num_vars_ = 0;
+};
+
+/// A substitution: pattern-variable index -> e-class id (kNoEClass = unbound).
+using Subst = std::vector<EClassId>;
+
+/// Find up to `limit` substitutions that make `pattern` equal to a term in
+/// class `root`. Appends to `out`.
+void match_in_class(const EGraph& egraph, const Pattern& pattern, EClassId root,
+                    std::vector<Subst>& out, std::size_t limit);
+
+/// Instantiate `pattern` under `subst` by adding e-nodes; returns the class.
+EClassId instantiate(EGraph& egraph, const Pattern& pattern, const Subst& subst);
+
+/// A rewrite rule: lhs => rhs sharing one pattern-variable numbering.
+struct Rewrite {
+  std::string name;
+  Pattern lhs;
+  Pattern rhs;
+  std::vector<std::string> var_names;
+
+  static Rewrite make(const std::string& name, const Pat& lhs, const Pat& rhs);
+};
+
+}  // namespace emorphic

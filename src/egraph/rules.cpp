@@ -1,0 +1,153 @@
+#include "egraph/rules.hpp"
+
+namespace emorphic {
+
+namespace {
+
+std::vector<Rewrite> associativity_rules() {
+  Pat a = Pat::v("a"), b = Pat::v("b"), c = Pat::v("c");
+  return {
+      Rewrite::make("assoc-and", Pat::and_(Pat::and_(a, b), c),
+                    Pat::and_(a, Pat::and_(b, c))),
+      Rewrite::make("assoc-and-rev", Pat::and_(a, Pat::and_(b, c)),
+                    Pat::and_(Pat::and_(a, b), c)),
+      Rewrite::make("assoc-or", Pat::or_(Pat::or_(a, b), c),
+                    Pat::or_(a, Pat::or_(b, c))),
+      Rewrite::make("assoc-or-rev", Pat::or_(a, Pat::or_(b, c)),
+                    Pat::or_(Pat::or_(a, b), c)),
+  };
+}
+
+std::vector<Rewrite> distributivity_rules() {
+  Pat a = Pat::v("a"), b = Pat::v("b"), c = Pat::v("c");
+  return {
+      // a*(b+c) <-> a*b + a*c
+      Rewrite::make("dist-and-over-or",
+                    Pat::and_(a, Pat::or_(b, c)),
+                    Pat::or_(Pat::and_(a, b), Pat::and_(a, c))),
+      Rewrite::make("factor-and",
+                    Pat::or_(Pat::and_(a, b), Pat::and_(a, c)),
+                    Pat::and_(a, Pat::or_(b, c))),
+      // (a+b)*(a+c) <-> a + b*c
+      Rewrite::make("dist-or-over-and",
+                    Pat::or_(a, Pat::and_(b, c)),
+                    Pat::and_(Pat::or_(a, b), Pat::or_(a, c))),
+      Rewrite::make("factor-or",
+                    Pat::and_(Pat::or_(a, b), Pat::or_(a, c)),
+                    Pat::or_(a, Pat::and_(b, c))),
+  };
+}
+
+std::vector<Rewrite> consensus_rules() {
+  Pat a = Pat::v("a"), b = Pat::v("b"), c = Pat::v("c");
+  // (a*b) + ((!a)*c) + (b*c) -> (a*b) + (!a)*c      [redundant term removal]
+  // The ternary sums appear as binary trees; associativity generates the
+  // other associations so one canonical shape per direction suffices.
+  return {
+      Rewrite::make(
+          "consensus-or",
+          Pat::or_(Pat::or_(Pat::and_(a, b), Pat::and_(Pat::not_(a), c)),
+                   Pat::and_(b, c)),
+          Pat::or_(Pat::and_(a, b), Pat::and_(Pat::not_(a), c))),
+      Rewrite::make(
+          "consensus-and",
+          Pat::and_(Pat::and_(Pat::or_(a, b), Pat::or_(Pat::not_(a), c)),
+                    Pat::or_(b, c)),
+          Pat::and_(Pat::or_(a, b), Pat::or_(Pat::not_(a), c))),
+  };
+}
+
+std::vector<Rewrite> demorgan_rules() {
+  Pat a = Pat::v("a"), b = Pat::v("b");
+  return {
+      Rewrite::make("demorgan-and", Pat::not_(Pat::and_(a, b)),
+                    Pat::or_(Pat::not_(a), Pat::not_(b))),
+      Rewrite::make("demorgan-and-rev", Pat::or_(Pat::not_(a), Pat::not_(b)),
+                    Pat::not_(Pat::and_(a, b))),
+      Rewrite::make("demorgan-or", Pat::not_(Pat::or_(a, b)),
+                    Pat::and_(Pat::not_(a), Pat::not_(b))),
+      Rewrite::make("demorgan-or-rev", Pat::and_(Pat::not_(a), Pat::not_(b)),
+                    Pat::not_(Pat::or_(a, b))),
+  };
+}
+
+std::vector<Rewrite> covering_rules() {
+  // The covering rules shown in Fig. 5: a*(a+b) -> a, a + a*b -> a.
+  Pat a = Pat::v("a"), b = Pat::v("b");
+  return {
+      Rewrite::make("absorb-and", Pat::and_(a, Pat::or_(a, b)), a),
+      Rewrite::make("absorb-or", Pat::or_(a, Pat::and_(a, b)), a),
+      Rewrite::make("idem-and", Pat::and_(a, a), a),
+      Rewrite::make("idem-or", Pat::or_(a, a), a),
+  };
+}
+
+std::vector<Rewrite> constant_rules() {
+  Pat a = Pat::v("a");
+  return {
+      Rewrite::make("and-true", Pat::and_(a, Pat::c1()), a),
+      Rewrite::make("and-false", Pat::and_(a, Pat::c0()), Pat::c0()),
+      Rewrite::make("or-false", Pat::or_(a, Pat::c0()), a),
+      Rewrite::make("or-true", Pat::or_(a, Pat::c1()), Pat::c1()),
+      Rewrite::make("and-compl", Pat::and_(a, Pat::not_(a)), Pat::c0()),
+      Rewrite::make("or-compl", Pat::or_(a, Pat::not_(a)), Pat::c1()),
+      Rewrite::make("double-neg", Pat::not_(Pat::not_(a)), a),
+      Rewrite::make("not-0", Pat::not_(Pat::c0()), Pat::c1()),
+      Rewrite::make("not-1", Pat::not_(Pat::c1()), Pat::c0()),
+  };
+}
+
+std::vector<Rewrite> xor_rules() {
+  Pat a = Pat::v("a"), b = Pat::v("b");
+  return {
+      Rewrite::make("xor-def",
+                    Pat::or_(Pat::and_(a, Pat::not_(b)),
+                             Pat::and_(Pat::not_(a), b)),
+                    Pat::xor_(a, b)),
+      Rewrite::make("xor-expand", Pat::xor_(a, b),
+                    Pat::or_(Pat::and_(a, Pat::not_(b)),
+                             Pat::and_(Pat::not_(a), b))),
+      Rewrite::make("xor-zero", Pat::xor_(a, Pat::c0()), a),
+      Rewrite::make("xor-one", Pat::xor_(a, Pat::c1()), Pat::not_(a)),
+      Rewrite::make("xor-self", Pat::xor_(a, a), Pat::c0()),
+  };
+}
+
+void append(std::vector<Rewrite>& into, std::vector<Rewrite> from) {
+  for (auto& r : from) into.push_back(std::move(r));
+}
+
+}  // namespace
+
+std::vector<Rewrite> make_logic_rules() {
+  std::vector<Rewrite> rules;
+  append(rules, associativity_rules());
+  append(rules, distributivity_rules());
+  append(rules, consensus_rules());
+  append(rules, demorgan_rules());
+  append(rules, covering_rules());
+  append(rules, constant_rules());
+  append(rules, xor_rules());
+  return rules;
+}
+
+std::vector<Rewrite> make_reduction_rules() {
+  std::vector<Rewrite> rules;
+  append(rules, covering_rules());
+  append(rules, constant_rules());
+  return rules;
+}
+
+std::vector<RuleClass> make_rule_classes() {
+  std::vector<RuleClass> classes;
+  classes.push_back({"Associativity", associativity_rules()});
+  classes.push_back({"Distributivity", distributivity_rules()});
+  classes.push_back({"Consensus", consensus_rules()});
+  classes.push_back({"De-Morgan", demorgan_rules()});
+  classes.push_back({"Covering", covering_rules()});
+  classes.push_back({"Constants", constant_rules()});
+  classes.push_back({"Xor", xor_rules()});
+  return classes;
+}
+
+}  // namespace emorphic

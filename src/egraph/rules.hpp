@@ -1,0 +1,30 @@
+#pragma once
+// The Boolean rewrite-rule set of Table I plus the supporting identities
+// shown in Fig. 5 (covering/absorption, De-Morgan, ...).
+//
+// Commutativity is listed in Table I but is absorbed structurally in this
+// implementation: the e-graph stores commutative operators child-sorted and
+// the matcher tries both child orders, so explicit commutativity rules would
+// only ever merge a class with itself.
+
+#include <vector>
+
+#include "egraph/pattern.hpp"
+
+namespace emorphic {
+
+/// The full rule set used by E-morphic's rewriting phase.
+std::vector<Rewrite> make_logic_rules();
+
+/// A smaller, strictly size-reducing subset (absorption, identities,
+/// complements, double negation); useful for tests and quick cleanups.
+std::vector<Rewrite> make_reduction_rules();
+
+/// Rules grouped the way Table I groups them, for the Table I bench.
+struct RuleClass {
+  const char* class_name;
+  std::vector<Rewrite> rules;
+};
+std::vector<RuleClass> make_rule_classes();
+
+}  // namespace emorphic

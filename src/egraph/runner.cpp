@@ -1,0 +1,97 @@
+#include "egraph/runner.hpp"
+
+#include "util/timer.hpp"
+
+namespace emorphic {
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kSaturated:
+      return "saturated";
+    case StopReason::kIterLimit:
+      return "iteration-limit";
+    case StopReason::kNodeLimit:
+      return "node-limit";
+    case StopReason::kTimeLimit:
+      return "time-limit";
+  }
+  return "?";
+}
+
+RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
+                           const RunnerLimits& limits) {
+  RunnerReport report;
+  report.rule_matches.assign(rules.size(), 0);
+  report.rule_applications.assign(rules.size(), 0);
+  Timer total;
+
+  for (std::size_t iter = 0; iter < limits.max_iterations; ++iter) {
+    Timer iter_timer;
+    IterationStats stats;
+    std::size_t enodes_before = egraph.num_enodes();
+    std::size_t classes_before = egraph.num_classes();
+
+    // Phase 1: search. Matches are gathered against a frozen e-graph so the
+    // rule application order cannot influence what is found (the
+    // phase-ordering freedom equality saturation is prized for).
+    std::vector<EClassId> ids = egraph.class_ids();
+    std::vector<std::vector<std::pair<EClassId, Subst>>> all_matches(rules.size());
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      std::vector<Subst> substs;
+      for (EClassId id : ids) {
+        substs.clear();
+        match_in_class(egraph, rules[r].lhs, id, substs,
+                       limits.max_matches_per_rule -
+                           std::min(limits.max_matches_per_rule,
+                                    all_matches[r].size()));
+        for (auto& s : substs) all_matches[r].emplace_back(id, std::move(s));
+        if (all_matches[r].size() >= limits.max_matches_per_rule) break;
+      }
+      stats.matches += all_matches[r].size();
+      report.rule_matches[r] += all_matches[r].size();
+      if (total.seconds() > limits.time_limit_s) break;
+    }
+
+    // Phase 2: apply. Instantiating the RHS only ever adds information.
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      for (auto& [cls, subst] : all_matches[r]) {
+        EClassId rhs = instantiate(egraph, rules[r].rhs, subst);
+        if (egraph.find(cls) != egraph.find(rhs)) {
+          egraph.merge(cls, rhs);
+          ++stats.applied;
+          ++report.rule_applications[r];
+        }
+        if (egraph.num_classes_created() > limits.max_enodes) break;
+      }
+      if (egraph.num_classes_created() > limits.max_enodes) break;
+    }
+
+    // Phase 3: rebuild (deferred congruence restoration).
+    egraph.rebuild();
+
+    stats.enodes_after = egraph.num_enodes();
+    stats.classes_after = egraph.num_classes();
+    stats.seconds = iter_timer.seconds();
+    report.iterations.push_back(stats);
+
+    if (stats.enodes_after >= limits.max_enodes) {
+      report.stop_reason = StopReason::kNodeLimit;
+      break;
+    }
+    if (total.seconds() > limits.time_limit_s) {
+      report.stop_reason = StopReason::kTimeLimit;
+      break;
+    }
+    if (stats.enodes_after == enodes_before &&
+        stats.classes_after == classes_before) {
+      report.stop_reason = StopReason::kSaturated;
+      break;
+    }
+    report.stop_reason = StopReason::kIterLimit;
+  }
+
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace emorphic

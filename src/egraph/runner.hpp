@@ -1,0 +1,53 @@
+#pragma once
+// The equality-saturation runner (egg's `Runner` [16]): repeatedly searches
+// all rules, applies the matches, and restores congruence, until the e-graph
+// saturates or a resource limit fires.
+//
+// E-morphic deliberately runs *few* iterations (5 in the paper, Sec. IV-A):
+// a handful of non-destructive rounds already multiplies the number of
+// equivalence classes far beyond what ABC's `dch` choices record, while
+// keeping node counts and runtime in check (Sec. I, insight 1).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "egraph/pattern.hpp"
+
+namespace emorphic {
+
+struct RunnerLimits {
+  std::size_t max_iterations = 5;
+  std::size_t max_enodes = 250000;
+  double time_limit_s = 30.0;
+  /// Cap on matches gathered per rule per iteration: keeps pathological
+  /// rules (associativity on deep chains) from starving the others.
+  std::size_t max_matches_per_rule = 20000;
+};
+
+enum class StopReason { kSaturated, kIterLimit, kNodeLimit, kTimeLimit };
+
+const char* stop_reason_name(StopReason reason);
+
+struct IterationStats {
+  std::size_t matches = 0;       // substitutions found
+  std::size_t applied = 0;       // merges that changed the e-graph
+  std::size_t enodes_after = 0;
+  std::size_t classes_after = 0;
+  double seconds = 0.0;
+};
+
+struct RunnerReport {
+  StopReason stop_reason = StopReason::kSaturated;
+  std::vector<IterationStats> iterations;
+  double total_seconds = 0.0;
+  /// Per-rule totals across all iterations (parallel to the rule vector).
+  std::vector<std::size_t> rule_matches;
+  std::vector<std::size_t> rule_applications;
+};
+
+/// Run equality saturation over `egraph` with the given rules and limits.
+RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
+                           const RunnerLimits& limits);
+
+}  // namespace emorphic

@@ -1,0 +1,202 @@
+#include "egraph/serialize.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace emorphic {
+
+namespace {
+
+const char* op_key(Op op) {
+  switch (op) {
+    case Op::kConst0:
+      return "Const0";
+    case Op::kConst1:
+      return "Const1";
+    case Op::kVar:
+      return "Symbol";
+    case Op::kNot:
+      return "NOT";
+    case Op::kAnd:
+      return "AND";
+    case Op::kOr:
+      return "OR";
+    case Op::kXor:
+      return "XOR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string egraph_to_dsl(const EGraph& egraph,
+                          const std::vector<SerializedRoot>& roots,
+                          const std::vector<std::string>& var_names) {
+  Json doc = Json::object();
+  Json classes = Json::object();
+
+  for (EClassId id : egraph.class_ids()) {
+    Json entry = Json::object();
+    entry["id"] = static_cast<std::uint64_t>(id);
+    Json nodes = Json::array();
+    for (const ENode& n : egraph.eclass(id).nodes) {
+      Json node = Json::object();
+      if (n.op == Op::kVar) {
+        node[op_key(n.op)] = var_names.at(n.symbol);
+      } else if (op_arity(n.op) == 0) {
+        node[op_key(n.op)] = Json::array();
+      } else {
+        Json children = Json::array();
+        for (unsigned i = 0; i < n.arity(); ++i) {
+          children.push_back(static_cast<std::uint64_t>(egraph.find(n.children[i])));
+        }
+        node[op_key(n.op)] = std::move(children);
+      }
+      nodes.push_back(std::move(node));
+    }
+    entry["nodes"] = std::move(nodes);
+    Json parents = Json::array();
+    for (const auto& [pnode, pclass] : egraph.eclass(id).parents) {
+      (void)pnode;
+      parents.push_back(static_cast<std::uint64_t>(egraph.find(pclass)));
+    }
+    entry["parents"] = std::move(parents);
+    classes[std::to_string(id)] = std::move(entry);
+  }
+  doc["egraph"] = std::move(classes);
+
+  Json jroots = Json::array();
+  for (const SerializedRoot& r : roots) {
+    Json jr = Json::object();
+    jr["id"] = static_cast<std::uint64_t>(egraph.find(r.id));
+    jr["compl"] = Json(r.complemented);
+    jr["name"] = r.name;
+    jroots.push_back(std::move(jr));
+  }
+  doc["roots"] = std::move(jroots);
+
+  Json jvars = Json::array();
+  for (const auto& name : var_names) jvars.push_back(name);
+  doc["inputs"] = std::move(jvars);
+  return doc.dump();
+}
+
+DeserializedEGraph dsl_to_egraph(const std::string& text) {
+  Json doc = Json::parse(text);
+  DeserializedEGraph out;
+  for (const Json& v : doc.at("inputs").as_array()) {
+    out.var_names.push_back(v.as_string());
+  }
+  std::unordered_map<std::string, std::uint32_t> symbol_of;
+  for (std::uint32_t i = 0; i < out.var_names.size(); ++i) {
+    symbol_of[out.var_names[i]] = i;
+  }
+
+  const JsonObject& classes = doc.at("egraph").as_object();
+
+  // Two-pass construction: first create a placeholder class per old id by
+  // adding one representative node once its children exist (topological via
+  // worklist), then merge in the remaining nodes of each class.
+  std::unordered_map<std::int64_t, EClassId> id_map;
+
+  struct PendingNode {
+    std::int64_t cls;
+    Op op;
+    std::uint32_t symbol = 0;
+    std::vector<std::int64_t> children;
+  };
+  std::vector<PendingNode> pending;
+  for (const auto& [key, entry] : classes) {
+    std::int64_t old_id = std::stoll(key);
+    for (const Json& jnode : entry.at("nodes").as_array()) {
+      const JsonObject& obj = jnode.as_object();
+      if (obj.size() != 1) throw std::runtime_error("dsl: bad node object");
+      const auto& [op_str, payload] = *obj.begin();
+      PendingNode p;
+      p.cls = old_id;
+      if (op_str == "Symbol") {
+        p.op = Op::kVar;
+        auto it = symbol_of.find(payload.as_string());
+        if (it == symbol_of.end()) {
+          throw std::runtime_error("dsl: unknown symbol " + payload.as_string());
+        }
+        p.symbol = it->second;
+      } else if (op_str == "Const0") {
+        p.op = Op::kConst0;
+      } else if (op_str == "Const1") {
+        p.op = Op::kConst1;
+      } else if (op_str == "NOT" || op_str == "AND" || op_str == "OR" ||
+                 op_str == "XOR") {
+        p.op = op_str == "NOT"  ? Op::kNot
+               : op_str == "AND" ? Op::kAnd
+               : op_str == "OR"  ? Op::kOr
+                                 : Op::kXor;
+        for (const Json& c : payload.as_array()) p.children.push_back(c.as_int());
+      } else {
+        throw std::runtime_error("dsl: unknown operator " + op_str);
+      }
+      pending.push_back(std::move(p));
+    }
+  }
+
+  // Worklist until all nodes are placed (child classes must exist first).
+  std::size_t placed_last_round = 1;
+  std::vector<bool> done(pending.size(), false);
+  std::size_t remaining = pending.size();
+  while (remaining > 0 && placed_last_round > 0) {
+    placed_last_round = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (done[i]) continue;
+      const PendingNode& p = pending[i];
+      bool ready = true;
+      for (std::int64_t c : p.children) {
+        if (!id_map.count(c)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      ENode node;
+      node.op = p.op;
+      node.symbol = p.symbol;
+      for (std::size_t c = 0; c < p.children.size(); ++c) {
+        node.children[c] = id_map.at(p.children[c]);
+      }
+      EClassId cls = out.egraph.add(node);
+      auto it = id_map.find(p.cls);
+      if (it == id_map.end()) {
+        id_map.emplace(p.cls, cls);
+      } else {
+        out.egraph.merge(it->second, cls);
+      }
+      done[i] = true;
+      --remaining;
+      ++placed_last_round;
+    }
+  }
+  if (remaining > 0) {
+    // Saturated e-graphs may contain cyclic equivalences (e.g. the class of
+    // `a` containing AND(a, a|b)); nodes whose cycle prevents placement are
+    // redundant *equivalent* forms, so dropping them is sound as long as
+    // every class kept at least one representative.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (!done[i] && !id_map.count(pending[i].cls)) {
+        throw std::runtime_error("dsl: class has no acyclic representative");
+      }
+    }
+  }
+  out.egraph.rebuild();
+
+  for (const Json& jr : doc.at("roots").as_array()) {
+    SerializedRoot r;
+    r.id = out.egraph.find(id_map.at(jr.at("id").as_int()));
+    r.complemented = jr.at("compl").as_bool();
+    r.name = jr.at("name").as_string();
+    out.roots.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace emorphic

@@ -1,0 +1,38 @@
+#pragma once
+// The intermediate DSL of Fig. 7: a JSON serialization of the e-graph in
+// which every e-class is referred to by a unique id and lists its e-nodes
+// and parents. Because ids give a one-to-one correspondence between circuit
+// elements and e-graph nodes, shared logic is never duplicated — this is
+// what makes direct DAG-to-DAG conversion (Fig. 8) linear instead of the
+// exponential S-expression flattening of E-Syn.
+
+#include <string>
+#include <vector>
+
+#include "egraph/egraph.hpp"
+
+namespace emorphic {
+
+/// A designated output of the serialized graph (a PO of the circuit).
+struct SerializedRoot {
+  EClassId id = kNoEClass;
+  bool complemented = false;
+  std::string name;
+};
+
+/// Serialize to the Fig. 7 format. `var_names[symbol]` names each kVar leaf.
+std::string egraph_to_dsl(const EGraph& egraph,
+                          const std::vector<SerializedRoot>& roots,
+                          const std::vector<std::string>& var_names);
+
+struct DeserializedEGraph {
+  EGraph egraph;
+  std::vector<SerializedRoot> roots;
+  std::vector<std::string> var_names;
+};
+
+/// Parse the Fig. 7 format back into a fresh e-graph (ids are renumbered;
+/// roots are remapped accordingly). Throws std::runtime_error on bad input.
+DeserializedEGraph dsl_to_egraph(const std::string& text);
+
+}  // namespace emorphic

@@ -1,0 +1,106 @@
+#include "extract/exact.hpp"
+
+#include <algorithm>
+
+namespace emorphic {
+
+bool solution_is_well_founded(const EGraph& egraph, const Extraction& solution,
+                              const std::vector<SerializedRoot>& roots) {
+  enum class State : std::uint8_t { kUnseen, kOpen, kDone };
+  std::vector<State> state(egraph.num_classes_created(), State::kUnseen);
+
+  // Iterative DFS with an explicit "children pending" phase; an Open node
+  // reached again is a cycle.
+  struct Frame {
+    EClassId cls;
+    unsigned next_child;
+  };
+  for (const SerializedRoot& r : roots) {
+    EClassId root = egraph.find(r.id);
+    if (state[root] == State::kDone) continue;
+    std::vector<Frame> stack{{root, 0}};
+    if (state[root] == State::kOpen) return false;
+    state[root] = State::kOpen;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      EClassId c = frame.cls;
+      if (!solution.has(c)) return false;
+      const ENode& n = egraph.eclass(c).nodes[solution.choice(c)];
+      if (frame.next_child >= n.arity()) {
+        state[c] = State::kDone;
+        stack.pop_back();
+        continue;
+      }
+      EClassId child = egraph.find(n.children[frame.next_child++]);
+      if (state[child] == State::kOpen) return false;  // cycle
+      if (state[child] == State::kUnseen) {
+        state[child] = State::kOpen;
+        stack.push_back(Frame{child, 0});
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<Extraction> exact_extract(const EGraph& egraph,
+                                        const std::vector<SerializedRoot>& roots,
+                                        const ExactParams& params) {
+  // Enumerate assignments only over classes reachable from the roots
+  // through *any* e-node (the relevant universe).
+  std::vector<EClassId> universe;
+  {
+    std::vector<bool> seen(egraph.num_classes_created(), false);
+    std::vector<EClassId> stack;
+    for (const SerializedRoot& r : roots) stack.push_back(egraph.find(r.id));
+    while (!stack.empty()) {
+      EClassId c = egraph.find(stack.back());
+      stack.pop_back();
+      if (seen[c]) continue;
+      seen[c] = true;
+      universe.push_back(c);
+      for (const ENode& n : egraph.eclass(c).nodes) {
+        for (unsigned k = 0; k < n.arity(); ++k) {
+          stack.push_back(egraph.find(n.children[k]));
+        }
+      }
+    }
+  }
+  std::sort(universe.begin(), universe.end());
+
+  // Bail out if the mixed-radix assignment space is too large.
+  double combinations = 1.0;
+  for (EClassId c : universe) {
+    combinations *= static_cast<double>(egraph.eclass(c).nodes.size());
+    if (combinations > static_cast<double>(params.max_combinations)) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<std::uint32_t> digits(universe.size(), 0);
+  std::optional<Extraction> best;
+  double best_cost = kInfCost;
+  for (;;) {
+    Extraction candidate(egraph.num_classes_created());
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      candidate.choose(universe[i], digits[i]);
+    }
+    if (solution_is_well_founded(egraph, candidate, roots)) {
+      double cost = solution_cost(egraph, candidate, params.cost, roots);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = std::move(candidate);
+      }
+    }
+    // Increment the mixed-radix counter.
+    std::size_t pos = 0;
+    while (pos < universe.size()) {
+      if (++digits[pos] < egraph.eclass(universe[pos]).nodes.size()) break;
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == universe.size()) break;
+  }
+  return best;
+}
+
+}  // namespace emorphic

@@ -1,0 +1,32 @@
+#pragma once
+// Exact e-graph extraction by exhaustive enumeration — exponential, usable
+// only on small graphs, and deliberately so: extraction is NP-hard [18],
+// and this oracle exists to *measure* how close the practical extractors
+// (greedy, SA) get to the optimum (tests and the extraction-quality
+// ablation), not to be used in the flow.
+
+#include <cstdint>
+#include <optional>
+
+#include "extract/extractor.hpp"
+
+namespace emorphic {
+
+/// Is `solution` a well-founded (acyclic) selection covering the cone of
+/// `roots`?
+bool solution_is_well_founded(const EGraph& egraph, const Extraction& solution,
+                              const std::vector<SerializedRoot>& roots);
+
+struct ExactParams {
+  CostModel cost{CostKind::kSize};
+  /// Give up (return nullopt) when the full assignment space exceeds this.
+  std::uint64_t max_combinations = 1u << 22;
+};
+
+/// Globally optimal extraction under the cost model, or nullopt when the
+/// search space exceeds params.max_combinations.
+std::optional<Extraction> exact_extract(const EGraph& egraph,
+                                        const std::vector<SerializedRoot>& roots,
+                                        const ExactParams& params = {});
+
+}  // namespace emorphic

@@ -1,0 +1,413 @@
+#include "extract/extractor.hpp"
+
+#include "extract/exact.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace emorphic {
+
+namespace {
+
+// NOT lowers to a complemented edge (free in an AIG), but a strictly
+// positive cost is required so that cost strictly decreases along chosen
+// child edges — that is what guarantees extracted solutions are acyclic.
+constexpr double kEpsilonCost = 1.0 / 1024.0;
+
+double node_op_cost(const CostModel& cost, Op op) {
+  double c = cost.op_cost(op);
+  return c > 0.0 ? c : kEpsilonCost;
+}
+
+struct NodeCache {
+  double cost = kInfCost;
+  double child0 = kInfCost;  // child costs at evaluation time
+  double child1 = kInfCost;
+};
+
+}  // namespace
+
+Extraction bottom_up_extract(const EGraph& egraph, const BottomUpOptions& options,
+                             std::vector<double>* out_costs) {
+  assert(options.cost != nullptr);
+  assert(options.p_random == 0.0 || options.rng != nullptr);
+  const CostModel& cost = *options.cost;
+
+  const std::size_t slots = egraph.num_classes_created();
+  std::vector<double> costs(slots, kInfCost);  // the paper's Costs_map
+  Extraction solution(slots);
+  if (options.warm_start != nullptr) {
+    for (EClassId c = 0; c < options.warm_start->size() && c < slots; ++c) {
+      if (options.warm_start->has(c)) {
+        solution.choose(c, options.warm_start->choice(c));
+      }
+    }
+  }
+
+  auto child_cost = [&](const ENode& n, unsigned i) {
+    EClassId child = egraph.find(n.children[i]);
+    double c = costs[child];
+    if (c == kInfCost) return kInfCost;
+    // Marginal-cost mode: already-selected classes are free (dag_refine).
+    if (options.free_classes != nullptr && (*options.free_classes)[child]) {
+      return 0.0;
+    }
+    return c;
+  };
+  auto eval_node = [&](const ENode& n) -> double {
+    double base = node_op_cost(cost, n.op);
+    if (n.arity() == 0) return base;
+    double c0 = child_cost(n, 0);
+    if (c0 == kInfCost) return kInfCost;
+    if (n.arity() == 1) return base + c0;
+    double c1 = child_cost(n, 1);
+    if (c1 == kInfCost) return kInfCost;
+    return cost.kind == CostKind::kSize ? base + c0 + c1
+                                        : base + std::max(c0, c1);
+  };
+
+  std::vector<EClassId> ids = egraph.class_ids();
+
+  // Algorithm 1's per-e-node update rule (line 15): always adopt the first
+  // finite cost; adopt an improvement unless the random skip fires.
+  auto try_update = [&](EClassId c, std::uint32_t node_index, double new_cost,
+                        bool* improved) {
+    double prev = costs[c];
+    if (new_cost >= prev) return;
+    if (prev != kInfCost && options.p_random > 0.0 &&
+        options.rng->next_double() < options.p_random) {
+      return;  // exploration: deliberately keep the inferior choice
+    }
+    solution.choose(c, node_index);
+    costs[c] = new_cost;
+    *improved = true;
+  };
+
+  // Safety valve: on cyclic e-graphs the min-plus relaxation converges, but
+  // sum costs over heavily shared structure can cascade for a very long
+  // time. Stopping early is sound — every choice made so far is
+  // well-founded — it merely leaves some classes at a dearer (still valid)
+  // selection.
+  const std::size_t max_passes = 1024;
+  std::size_t relaxation_budget = 256 * ids.size() + 4096;
+
+  if (!options.prune) {
+    // Baseline extraction (Fig. 6, "Original Search Space"): full sweeps over
+    // every e-node until a fixpoint.
+    bool changed = true;
+    std::size_t sweeps = 0;
+    while (changed && sweeps++ < max_passes) {
+      changed = false;
+      if (options.stats != nullptr) ++options.stats->passes;
+      for (EClassId c : ids) {
+        const auto& nodes = egraph.eclass(c).nodes;
+        for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+          double value = eval_node(nodes[i]);
+          if (options.stats != nullptr) ++options.stats->enodes_visited;
+          if (value == kInfCost) continue;
+          bool improved = false;
+          try_update(c, i, value, &improved);
+          changed = changed || improved;
+        }
+      }
+    }
+    if (out_costs != nullptr) *out_costs = std::move(costs);
+    return solution;
+  }
+
+  // Pruned extraction ("Reduced Search Space"): a worklist seeded with the
+  // leaf classes; per-e-node memoization skips any node whose children's
+  // costs are unchanged since its last evaluation.
+  std::vector<std::vector<NodeCache>> cache(slots);
+  std::vector<bool> queued(slots, false);
+  // FIFO keeps propagation breadth-first (roughly topological), which
+  // avoids the exponential recomputation cascades a LIFO order can cause
+  // on reconvergent graphs.
+  std::deque<EClassId> queue;
+  for (EClassId c : ids) {
+    for (const ENode& n : egraph.eclass(c).nodes) {
+      if (n.arity() == 0) {
+        if (!queued[c]) {
+          queued[c] = true;
+          queue.push_back(c);
+        }
+        break;
+      }
+    }
+  }
+
+  while (!queue.empty() && relaxation_budget-- > 0) {
+    EClassId c = queue.front();
+    queue.pop_front();
+    queued[c] = false;
+    if (options.stats != nullptr) ++options.stats->passes;
+
+    const auto& nodes = egraph.eclass(c).nodes;
+    if (cache[c].empty()) cache[c].resize(nodes.size());
+    bool improved = false;
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      const ENode& n = nodes[i];
+      NodeCache& memo = cache[c][i];
+      double c0 = n.arity() >= 1 ? child_cost(n, 0) : kInfCost;
+      double c1 = n.arity() >= 2 ? child_cost(n, 1) : kInfCost;
+      if (memo.cost != kInfCost && memo.child0 == c0 && memo.child1 == c1) {
+        // Children unchanged: this node cannot have gotten cheaper.
+        if (options.stats != nullptr) ++options.stats->enodes_skipped;
+        continue;
+      }
+      double value = eval_node(n);
+      if (options.stats != nullptr) ++options.stats->enodes_visited;
+      memo.child0 = c0;
+      memo.child1 = c1;
+      memo.cost = value;
+      if (value == kInfCost) continue;
+      try_update(c, i, value, &improved);
+    }
+    if (improved) {
+      // Line 18: extend the traversal queue with the parents of this class.
+      for (const auto& [pnode, pclass] : egraph.eclass(c).parents) {
+        (void)pnode;
+        EClassId p = egraph.find(pclass);
+        if (!queued[p]) {
+          queued[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+
+  if (out_costs != nullptr) *out_costs = std::move(costs);
+  return solution;
+}
+
+Extraction dag_refine(const EGraph& egraph, const Extraction& base,
+                      const CostModel& cost,
+                      const std::vector<SerializedRoot>& roots,
+                      unsigned passes) {
+  Extraction best = base;
+  // True DAG cost arbitrates: size semantics count every class once.
+  CostModel dag_cost{CostKind::kSize};
+  if (!solution_is_well_founded(egraph, best, roots)) return best;
+  double best_value = solution_cost(egraph, best, dag_cost, roots);
+
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    // Mark the classes the incumbent actually uses below the roots.
+    std::vector<bool> used(egraph.num_classes_created(), false);
+    std::vector<EClassId> stack;
+    for (const SerializedRoot& r : roots) stack.push_back(egraph.find(r.id));
+    while (!stack.empty()) {
+      EClassId c = egraph.find(stack.back());
+      stack.pop_back();
+      if (used[c] || !best.has(c)) continue;
+      used[c] = true;
+      const ENode& n = egraph.eclass(c).nodes[best.choice(c)];
+      for (unsigned k = 0; k < n.arity(); ++k) {
+        stack.push_back(egraph.find(n.children[k]));
+      }
+    }
+
+    BottomUpOptions options;
+    options.cost = &cost;
+    options.free_classes = &used;
+    Extraction candidate = bottom_up_extract(egraph, options);
+    // Zero-cost contributions void the acyclicity guarantee: validate, and
+    // only adopt strict improvements of the true DAG cost.
+    if (!solution_is_well_founded(egraph, candidate, roots)) break;
+    double value = solution_cost(egraph, candidate, dag_cost, roots);
+    if (value >= best_value) break;
+    best = std::move(candidate);
+    best_value = value;
+  }
+  return best;
+}
+
+Extraction greedy_extract(const EGraph& egraph, const CostModel& cost,
+                          ExtractStats* stats, bool prune) {
+  BottomUpOptions options;
+  options.cost = &cost;
+  options.prune = prune;
+  options.stats = stats;
+  return bottom_up_extract(egraph, options);
+}
+
+Extraction random_extract(const EGraph& egraph, Rng& rng) {
+  // Well-founded random choice: decide each class by picking uniformly at
+  // random among its e-nodes whose children are already decided.
+  // Kahn-style worklist (O(edges)): when a class is decided, parent e-nodes
+  // lose one pending child; nodes reaching zero make their class decidable.
+  const std::size_t slots = egraph.num_classes_created();
+  Extraction solution(slots);
+  std::vector<bool> decided(slots, false);
+
+  struct NodeRef {
+    EClassId cls;
+    std::uint32_t index;
+  };
+  // pending[c][i]: undecided-children count of node i in class c.
+  std::vector<std::vector<std::uint32_t>> pending(slots);
+  std::vector<std::vector<NodeRef>> users(slots);  // child class -> user nodes
+  std::vector<EClassId> queue;
+
+  for (EClassId c : egraph.class_ids()) {
+    const auto& nodes = egraph.eclass(c).nodes;
+    pending[c].resize(nodes.size(), 0);
+    bool has_ready = false;
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      for (unsigned k = 0; k < nodes[i].arity(); ++k) {
+        EClassId child = egraph.find(nodes[i].children[k]);
+        ++pending[c][i];
+        users[child].push_back(NodeRef{c, i});
+      }
+      if (pending[c][i] == 0) has_ready = true;
+    }
+    if (has_ready) queue.push_back(c);
+  }
+
+  while (!queue.empty()) {
+    // Pop a random queue element so tie-breaking order is also randomized.
+    std::size_t pick = rng.next_below(queue.size());
+    EClassId c = queue[pick];
+    queue[pick] = queue.back();
+    queue.pop_back();
+    if (decided[c]) continue;
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < pending[c].size(); ++i) {
+      if (pending[c][i] == 0) ready.push_back(i);
+    }
+    if (ready.empty()) continue;  // stale queue entry
+    solution.choose(c, ready[rng.next_below(ready.size())]);
+    decided[c] = true;
+    for (const NodeRef& ref : users[c]) {
+      if (decided[ref.cls]) continue;
+      if (--pending[ref.cls][ref.index] == 0) queue.push_back(ref.cls);
+    }
+  }
+  return solution;
+}
+
+double solution_cost(const EGraph& egraph, const Extraction& solution,
+                     const CostModel& cost,
+                     const std::vector<SerializedRoot>& roots) {
+  // Iterative DFS over chosen nodes; size counts each class once (DAG cost),
+  // depth memoizes the longest path.
+  enum class State : std::uint8_t { kUnseen, kOpen, kDone };
+  const std::size_t slots = egraph.num_classes_created();
+  std::vector<State> state(slots, State::kUnseen);
+  std::vector<double> depth(slots, 0.0);
+  double total_size = 0.0;
+
+  std::vector<EClassId> stack;
+  for (const SerializedRoot& r : roots) stack.push_back(egraph.find(r.id));
+  while (!stack.empty()) {
+    EClassId c = egraph.find(stack.back());
+    if (state[c] == State::kDone) {
+      stack.pop_back();
+      continue;
+    }
+    assert(solution.has(c));
+    const ENode& n = egraph.eclass(c).nodes[solution.choice(c)];
+    if (state[c] == State::kUnseen) {
+      state[c] = State::kOpen;
+      bool pending = false;
+      for (unsigned k = 0; k < n.arity(); ++k) {
+        EClassId child = egraph.find(n.children[k]);
+        if (state[child] != State::kDone) {
+          assert(state[child] != State::kOpen && "cyclic extraction");
+          stack.push_back(child);
+          pending = true;
+        }
+      }
+      if (pending) continue;
+    }
+    // Children done: finalize.
+    double node_cost = cost.op_cost(n.op);
+    double child_depth = 0.0;
+    for (unsigned k = 0; k < n.arity(); ++k) {
+      child_depth = std::max(child_depth, depth[egraph.find(n.children[k])]);
+    }
+    depth[c] = node_cost + child_depth;
+    total_size += node_cost;
+    state[c] = State::kDone;
+    stack.pop_back();
+  }
+
+  if (cost.kind == CostKind::kSize) return total_size;
+  double max_depth = 0.0;
+  for (const SerializedRoot& r : roots) {
+    max_depth = std::max(max_depth, depth[egraph.find(r.id)]);
+  }
+  return max_depth;
+}
+
+Aig extraction_to_aig(const EGraph& egraph, const Extraction& solution,
+                      const std::vector<SerializedRoot>& roots,
+                      const std::vector<std::string>& pi_names) {
+  Aig aig;
+  for (const auto& name : pi_names) aig.add_pi(name);
+
+  const std::size_t slots = egraph.num_classes_created();
+  std::vector<Lit> built(slots, kLitFalse);
+  std::vector<std::uint8_t> done(slots, 0);
+
+  std::vector<EClassId> stack;
+  for (const SerializedRoot& r : roots) stack.push_back(egraph.find(r.id));
+  while (!stack.empty()) {
+    EClassId c = egraph.find(stack.back());
+    if (done[c]) {
+      stack.pop_back();
+      continue;
+    }
+    assert(solution.has(c) && "extraction does not cover the output cone");
+    const ENode& n = egraph.eclass(c).nodes[solution.choice(c)];
+    bool pending = false;
+    for (unsigned k = 0; k < n.arity(); ++k) {
+      EClassId child = egraph.find(n.children[k]);
+      if (!done[child]) {
+        stack.push_back(child);
+        pending = true;
+      }
+    }
+    if (pending) continue;
+
+    Lit lit = kLitFalse;
+    switch (n.op) {
+      case Op::kConst0:
+        lit = kLitFalse;
+        break;
+      case Op::kConst1:
+        lit = kLitTrue;
+        break;
+      case Op::kVar:
+        lit = make_lit(aig.pis()[n.symbol]);
+        break;
+      case Op::kNot:
+        lit = lit_not(built[egraph.find(n.children[0])]);
+        break;
+      case Op::kAnd:
+        lit = aig.make_and(built[egraph.find(n.children[0])],
+                           built[egraph.find(n.children[1])]);
+        break;
+      case Op::kOr:
+        lit = aig.make_or(built[egraph.find(n.children[0])],
+                          built[egraph.find(n.children[1])]);
+        break;
+      case Op::kXor:
+        lit = aig.make_xor(built[egraph.find(n.children[0])],
+                           built[egraph.find(n.children[1])]);
+        break;
+    }
+    built[c] = lit;
+    done[c] = 1;
+    stack.pop_back();
+  }
+
+  for (const SerializedRoot& r : roots) {
+    Lit lit = built[egraph.find(r.id)];
+    aig.add_po(lit_notcond(lit, r.complemented), r.name);
+  }
+  return aig;
+}
+
+}  // namespace emorphic

@@ -1,0 +1,94 @@
+#pragma once
+// Simulated-annealing e-graph extraction (Sec. III-B, Fig. 4):
+//
+//   * several annealing chains run in parallel threads, each seeded with a
+//     bottom-up initial solution (greedy depth / greedy size / random);
+//   * each move generates a neighboring solution with Algorithm 1's
+//     randomized bottom-up pass, evaluates its QoR through a pluggable cost
+//     model (exact mapper or ML estimate, Sec. III-C), and accepts or
+//     rejects by the Metropolis rule;
+//   * the temperature follows the paper's schedule (Sec. IV-A): T1 = 2000,
+//     then Tn = Tn-1 * |new_cost - old_cost| / (n * 10000) for n = 2, 3 and
+//     Tn = Tn-1 * |new_cost - old_cost| / n for the final iteration;
+//   * the best mapped solution across all chains wins.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "extract/extractor.hpp"
+
+namespace emorphic {
+
+/// Post-mapping quality of result.
+struct Qor {
+  double area = 0.0;   // µm²
+  double delay = 0.0;  // ps
+};
+
+/// Pluggable cost model (Sec. III-C). Implementations must be thread-safe:
+/// several SA chains evaluate concurrently.
+class QorEvaluator {
+ public:
+  explicit QorEvaluator(double area_weight = 0.5)
+      : area_weight_(area_weight) {}
+  virtual ~QorEvaluator() = default;
+
+  /// Evaluate a candidate circuit (typically: quick technology mapping, or
+  /// an ML prediction of the mapped delay).
+  virtual Qor evaluate(const Aig& candidate) const = 0;
+
+  /// Scalar cost SA minimizes. Delay is the primary metric (the paper
+  /// optimizes post-mapping delay); a small area term keeps the delay-
+  /// oriented search from drifting into area-bloated structures — this is
+  /// how Table II reports area *savings* alongside the delay reduction.
+  virtual double cost(const Qor& qor) const {
+    return qor.delay + area_weight_ * qor.area;
+  }
+
+  double area_weight() const { return area_weight_; }
+
+ private:
+  double area_weight_;
+};
+
+struct SaParams {
+  unsigned iterations = 4;          // paper: annealing exit after 4 iterations
+  unsigned moves_per_iteration = 6; // neighbor evaluations per iteration
+  double initial_temperature = 2000.0;  // paper: T1 = 2000
+  double p_random = 0.15;           // Algorithm 1 random skip probability
+  unsigned num_threads = 4;         // paper: 4 (quality) / 6 (ML) threads
+  std::uint64_t seed = 1;
+  bool prune = true;                // solution-space pruning (Fig. 6)
+  /// Proxy cost used by the neighbor-generation pass (depth tracks delay).
+  CostModel proxy_cost{CostKind::kDepth};
+};
+
+/// One point of the annealing trace (for the Fig. 4 bench / diagnostics).
+struct SaTracePoint {
+  unsigned thread = 0;
+  unsigned iteration = 0;
+  unsigned move = 0;
+  double temperature = 0.0;
+  double candidate_cost = 0.0;
+  double current_cost = 0.0;
+  bool accepted = false;
+};
+
+struct SaResult {
+  Extraction best;
+  Qor best_qor;
+  double best_cost = 0.0;
+  std::size_t evaluations = 0;   // QoR evaluator calls
+  double seconds = 0.0;
+  ExtractStats extract_stats;    // summed over all neighbor generations
+  std::vector<SaTracePoint> trace;
+};
+
+/// Run parallel simulated-annealing extraction over a (rewritten) e-graph.
+SaResult sa_extract(const EGraph& egraph,
+                    const std::vector<SerializedRoot>& roots,
+                    const std::vector<std::string>& pi_names,
+                    const QorEvaluator& evaluator, const SaParams& params);
+
+}  // namespace emorphic

@@ -1,0 +1,103 @@
+#pragma once
+// End-to-end synthesis flows (Sec. IV-C):
+//
+//  baseline: [(st; if -g -K 6 -C 8)(st; dch; map)] x 4
+//            — the competitive delay-oriented flow of [22] the paper
+//              compares against;
+//  E-morphic: the same for 3 rounds, then e-graph resynthesis (direct
+//            conversion -> few rewriting iterations -> parallel SA
+//            extraction under a QoR cost model) feeding the final
+//            (st; dch; map) round.
+
+#include <optional>
+
+#include "cec/cec.hpp"
+#include "egraph/runner.hpp"
+#include "extract/sa_extractor.hpp"
+#include "flow/conversion.hpp"
+#include "mapper/tech_mapper.hpp"
+#include "opt/resyn.hpp"
+#include "opt/sop_balance.hpp"
+
+namespace emorphic {
+
+/// Quality-prioritized cost model (Sec. III-C.2): a fast, rough technology
+/// mapping; the mapped delay is the SA cost, area breaks ties.
+class MapQorEvaluator : public QorEvaluator {
+ public:
+  explicit MapQorEvaluator(const CellLibrary& library, double area_weight = 0.5)
+      : QorEvaluator(area_weight), library_(&library) {
+    // Reduced effort relative to the final map: fewer priority cuts and no
+    // area recovery, trading accuracy for evaluation speed.
+    params_.num_cuts = 4;
+    params_.area_recovery = false;
+  }
+
+  Qor evaluate(const Aig& candidate) const override {
+    MappedQor q = map_qor(candidate, *library_, params_);
+    return Qor{q.area, q.delay};
+  }
+
+ private:
+  const CellLibrary* library_;
+  MapperParams params_;
+};
+
+struct FlowParams {
+  const CellLibrary* library = &CellLibrary::asap7_like();
+  unsigned rounds = 4;            // total optimization rounds
+  /// Area term in the scalar flow cost (delay + weight*area): delay stays
+  /// the primary objective, area breaks near-ties (see QorEvaluator::cost).
+  double area_weight = 0.5;
+  SopBalanceParams sop_balance;   // K=6, C=8
+  MapperParams mapping;           // final map effort
+  RunnerLimits rewrite;           // e-graph rewriting limits (5 iterations)
+  SaParams sa;                    // SA extraction parameters
+  bool verify = true;             // cec the result against the input
+  CecParams cec_params;
+};
+
+struct FlowQor {
+  double area = 0.0;       // µm²
+  double delay = 0.0;      // ps
+  std::uint32_t lev = 0;   // AIG levels before the final mapping
+  double seconds = 0.0;    // total runtime
+};
+
+struct BaselineResult {
+  FlowQor qor;
+  Aig final_aig;  // tech-independent network entering the final map
+  std::optional<MappedNetlist> netlist;
+};
+
+/// Fig. 9's runtime decomposition.
+struct EmorphicBreakdown {
+  double flow_seconds = 0.0;        // conventional optimization + mapping
+  double conversion_seconds = 0.0;  // DAG-to-DAG conversion (fwd + bwd)
+  double rewrite_seconds = 0.0;     // equality saturation
+  double sa_seconds = 0.0;          // SA extraction incl. QoR evaluations
+};
+
+struct EmorphicResult {
+  FlowQor qor;
+  Aig final_aig;
+  std::optional<MappedNetlist> netlist;
+  EmorphicBreakdown breakdown;
+  RunnerReport rewrite_report;
+  std::size_t egraph_classes = 0;
+  std::size_t egraph_enodes = 0;
+  std::size_t initial_enodes = 0;
+  CecStatus verify_status = CecStatus::kUndecided;
+  SaResult sa;
+};
+
+/// The conventional delay-oriented flow of [22].
+BaselineResult baseline_flow(const Aig& input, const FlowParams& params);
+
+/// The E-morphic flow with a caller-supplied cost model (exact mapper or
+/// ML); when `evaluator` is null a MapQorEvaluator over params.library is
+/// used (the paper's quality-prioritized mode).
+EmorphicResult emorphic_flow(const Aig& input, const FlowParams& params,
+                             const QorEvaluator* evaluator = nullptr);
+
+}  // namespace emorphic

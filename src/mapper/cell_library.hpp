@@ -1,0 +1,48 @@
+#pragma once
+// Standard-cell library abstraction. The paper maps with the ASAP7 7 nm
+// predictive PDK [21]; this reproduction ships a synthetic library with
+// ASAP7-magnitude areas (µm²) and delays (ps), expressed in a genlib-style
+// text format (see genlib.hpp) so users can substitute their own.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/truth.hpp"
+
+namespace emorphic {
+
+struct Cell {
+  std::string name;
+  double area = 0.0;   // µm²
+  double delay = 0.0;  // ps, worst pin-to-output (load-independent NLDM stand-in)
+  unsigned num_inputs = 0;
+  std::vector<std::string> input_names;  // pin order == truth-table variable order
+  std::string output_name;
+  Tt tt = 0;  // function over the first num_inputs variables (padded to 4)
+};
+
+class CellLibrary {
+ public:
+  void add(Cell cell) { cells_.push_back(std::move(cell)); }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const Cell& cell(std::uint32_t id) const { return cells_[id]; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Index of the inverter (the cheapest cell computing NOT).
+  std::uint32_t inverter() const;
+  /// Index of the cheapest cell computing BUF (identity), if any.
+  std::int32_t buffer() const;
+
+  /// Find a cell by name; returns -1 when absent.
+  std::int32_t find(const std::string& name) const;
+
+  /// The built-in ASAP7-like library (parsed from embedded genlib text).
+  static const CellLibrary& asap7_like();
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+}  // namespace emorphic

@@ -1,0 +1,288 @@
+#include "mapper/genlib.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace emorphic {
+
+namespace {
+
+/// Expression parser producing a truth table over the gate's pins (pins are
+/// numbered in order of first appearance, in a 4-variable domain).
+class GateExprParser {
+ public:
+  GateExprParser(const std::string& text, Cell& cell)
+      : text_(text), cell_(cell) {}
+
+  Tt parse() {
+    Tt result = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("genlib: trailing characters in expression");
+    }
+    return result & tt_mask(4);
+  }
+
+ private:
+  Tt parse_or() {
+    Tt acc = parse_xor();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '|')) {
+        ++pos_;
+        acc |= parse_xor();
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Tt parse_xor() {
+    Tt acc = parse_and();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '^') {
+        ++pos_;
+        acc ^= parse_and();
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Tt parse_and() {
+    Tt acc = parse_factor();
+    for (;;) {
+      skip_ws();
+      if (pos_ < text_.size() && (text_[pos_] == '*' || text_[pos_] == '&')) {
+        ++pos_;
+        acc &= parse_factor();
+      } else if (pos_ < text_.size() &&
+                 (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+                  text_[pos_] == '(' || text_[pos_] == '!')) {
+        // Juxtaposition also means AND in genlib (e.g. "A B").
+        acc &= parse_factor();
+      } else {
+        return acc;
+      }
+    }
+  }
+
+  Tt parse_factor() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("genlib: unexpected end of expression");
+    }
+    char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      return ~parse_factor() & tt_mask(4);
+    }
+    if (c == '(') {
+      ++pos_;
+      Tt inner = parse_or();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        throw std::runtime_error("genlib: expected ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    std::string name = parse_name();
+    if (name == "CONST0") return 0;
+    if (name == "CONST1") return tt_mask(4);
+    // Pin reference; allow postfix ' for complement.
+    unsigned pin = pin_index(name);
+    Tt value = tt_var(pin, 4);
+    if (pos_ < text_.size() && text_[pos_] == '\'') {
+      ++pos_;
+      value = ~value & tt_mask(4);
+    }
+    return value;
+  }
+
+  unsigned pin_index(const std::string& name) {
+    for (unsigned i = 0; i < cell_.input_names.size(); ++i) {
+      if (cell_.input_names[i] == name) return i;
+    }
+    if (cell_.input_names.size() >= 4) {
+      throw std::runtime_error("genlib: gate " + cell_.name +
+                               " has more than 4 inputs");
+    }
+    cell_.input_names.push_back(name);
+    return static_cast<unsigned>(cell_.input_names.size() - 1);
+  }
+
+  std::string parse_name() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw std::runtime_error("genlib: expected pin name at offset " +
+                               std::to_string(pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  Cell& cell_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CellLibrary parse_genlib(const std::string& text) {
+  CellLibrary lib;
+  std::size_t pos = 0;
+  auto skip_ws_and_comments = [&] {
+    for (;;) {
+      while (pos < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      if (pos < text.size() && text[pos] == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+        continue;
+      }
+      return;
+    }
+  };
+  auto next_token = [&]() -> std::string {
+    skip_ws_and_comments();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    return text.substr(start, pos - start);
+  };
+
+  for (;;) {
+    skip_ws_and_comments();
+    if (pos >= text.size()) break;
+    std::string keyword = next_token();
+    if (keyword != "GATE") {
+      throw std::runtime_error("genlib: expected GATE, got '" + keyword + "'");
+    }
+    Cell cell;
+    cell.name = next_token();
+    std::string area_token = next_token();
+    cell.area = std::stod(area_token);
+
+    // Everything up to ';' is "<output>=<expr>".
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) {
+      throw std::runtime_error("genlib: missing ';' after gate expression");
+    }
+    std::string assign = text.substr(pos, semi - pos);
+    pos = semi + 1;
+    std::size_t eq = assign.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("genlib: expected '=' in gate expression");
+    }
+    // Trim the output name.
+    std::string out_name = assign.substr(0, eq);
+    out_name.erase(0, out_name.find_first_not_of(" \t\r\n"));
+    out_name.erase(out_name.find_last_not_of(" \t\r\n") + 1);
+    cell.output_name = out_name;
+
+    std::string expr = assign.substr(eq + 1);
+    cell.tt = GateExprParser(expr, cell).parse();
+    cell.num_inputs = static_cast<unsigned>(cell.input_names.size());
+
+    // Optional "PIN * <delay>" clause (one worst-case delay for all pins).
+    skip_ws_and_comments();
+    if (text.compare(pos, 3, "PIN") == 0) {
+      next_token();                    // PIN
+      next_token();                    // pin name or *
+      cell.delay = std::stod(next_token());
+    }
+    lib.add(std::move(cell));
+  }
+  return lib;
+}
+
+const char* asap7_like_genlib_text() {
+  // Synthetic library with ASAP7-magnitude areas (µm²) and delays (ps).
+  // One size per function keeps mapping deterministic and readable.
+  return R"(
+# emorphic ASAP7-like standard cells (synthetic; see DESIGN.md)
+GATE INVx1    0.0934 Y=!A;               PIN * 8
+GATE BUFx2    0.1401 Y=A;                PIN * 14
+GATE NAND2x1  0.1401 Y=!(A*B);           PIN * 12
+GATE NOR2x1   0.1401 Y=!(A+B);           PIN * 14
+GATE AND2x2   0.1868 Y=A*B;              PIN * 18
+GATE OR2x2    0.1868 Y=A+B;              PIN * 20
+GATE NAND3x1  0.1868 Y=!(A*B*C);         PIN * 16
+GATE NOR3x1   0.1868 Y=!(A+B+C);         PIN * 20
+GATE AND3x2   0.2335 Y=A*B*C;            PIN * 21
+GATE OR3x2    0.2335 Y=A+B+C;            PIN * 23
+GATE NAND4x1  0.2335 Y=!(A*B*C*D);       PIN * 20
+GATE NOR4x1   0.2335 Y=!(A+B+C+D);       PIN * 26
+GATE AND4x2   0.2802 Y=A*B*C*D;          PIN * 24
+GATE OR4x2    0.2802 Y=A+B+C+D;          PIN * 27
+GATE AOI21x1  0.1868 Y=!((A*B)+C);       PIN * 16
+GATE OAI21x1  0.1868 Y=!((A+B)*C);       PIN * 16
+GATE AOI22x1  0.2335 Y=!((A*B)+(C*D));   PIN * 18
+GATE OAI22x1  0.2335 Y=!((A+B)*(C+D));   PIN * 18
+GATE AOI211x1 0.2335 Y=!((A*B)+C+D);     PIN * 20
+GATE OAI211x1 0.2335 Y=!((A+B)*C*D);     PIN * 20
+GATE AO21x2   0.2335 Y=(A*B)+C;          PIN * 21
+GATE OA21x2   0.2335 Y=(A+B)*C;          PIN * 21
+GATE XOR2x1   0.2802 Y=A^B;              PIN * 22
+GATE XNOR2x1  0.2802 Y=!(A^B);           PIN * 22
+GATE MUX2x1   0.2802 Y=(S*A)+(!S*B);     PIN * 24
+GATE MAJ3x1   0.3269 Y=(A*B)+(A*C)+(B*C); PIN * 26
+)";
+}
+
+const CellLibrary& CellLibrary::asap7_like() {
+  static const CellLibrary lib = parse_genlib(asap7_like_genlib_text());
+  return lib;
+}
+
+std::uint32_t CellLibrary::inverter() const {
+  const Tt inv_tt = tt_not(tt_var(0, 4), 4);
+  std::int32_t best = -1;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].num_inputs == 1 && cells_[i].tt == inv_tt) {
+      if (best < 0 || cells_[i].area < cells_[best].area) {
+        best = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  if (best < 0) throw std::runtime_error("cell library has no inverter");
+  return static_cast<std::uint32_t>(best);
+}
+
+std::int32_t CellLibrary::buffer() const {
+  const Tt buf_tt = tt_var(0, 4);
+  std::int32_t best = -1;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].num_inputs == 1 && cells_[i].tt == buf_tt) {
+      if (best < 0 || cells_[i].area < cells_[best].area) {
+        best = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  return best;
+}
+
+std::int32_t CellLibrary::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace emorphic

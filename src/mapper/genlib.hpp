@@ -1,0 +1,23 @@
+#pragma once
+// Parser for a genlib-style cell-library description:
+//
+//   GATE <name> <area> <output>=<expr>;  PIN * <delay>
+//
+// where <expr> uses ! (NOT), * or & (AND), + or | (OR), ^ (XOR),
+// parentheses, and CONST0/CONST1. Pin order is the order of first
+// appearance in the expression, and doubles as the truth-table variable
+// order. At most 4 inputs per gate (the Boolean matcher's NPN domain).
+
+#include <string>
+
+#include "mapper/cell_library.hpp"
+
+namespace emorphic {
+
+/// Parse a genlib document; throws std::runtime_error on malformed input.
+CellLibrary parse_genlib(const std::string& text);
+
+/// The embedded ASAP7-like genlib source text (also usable as an example).
+const char* asap7_like_genlib_text();
+
+}  // namespace emorphic

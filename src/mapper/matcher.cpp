@@ -1,0 +1,68 @@
+#include "mapper/matcher.hpp"
+
+#include <cassert>
+
+namespace emorphic {
+
+Matcher::Matcher(const CellLibrary& library) : library_(library) {
+  for (std::uint32_t id = 0; id < library_.size(); ++id) {
+    const Cell& cell = library_.cell(id);
+    if (cell.num_inputs > 4) continue;
+    NpnTransform tr;
+    Tt canon = npn_canon(cell.tt, &tr);
+    canon_cells_[canon].push_back(CellEntry{id, tr});
+  }
+}
+
+Matcher::CanonEntry Matcher::canon_of(Tt tt) {
+  auto it = canon_cache_.find(tt);
+  if (it != canon_cache_.end()) return it->second;
+  CanonEntry entry;
+  entry.canon = npn_canon(tt, &entry.transform);
+  canon_cache_.emplace(tt, entry);
+  return entry;
+}
+
+const std::vector<CellMatch>& Matcher::match(Tt tt, unsigned num_leaves) {
+  tt &= tt_mask(4);
+  auto cached = match_cache_.find(tt);
+  if (cached != match_cache_.end()) return cached->second;
+
+  std::vector<CellMatch> matches;
+  CanonEntry cut_entry = canon_of(tt);
+  auto cells = canon_cells_.find(cut_entry.canon);
+  if (cells != canon_cells_.end()) {
+    for (const CellEntry& ce : cells->second) {
+      // canon == apply(cell_tt, Tcell) and canon == apply(cut_tt, Tcut)
+      //  =>  cut_tt == apply(cell_tt, compose(inverse(Tcut), Tcell)).
+      NpnTransform comb =
+          npn_compose(npn_inverse(cut_entry.transform), ce.transform);
+      const Cell& cell = library_.cell(ce.cell);
+      assert(npn_apply(cell.tt, comb) == tt && "NPN match must reconstruct");
+
+      CellMatch m;
+      m.cell = ce.cell;
+      m.output_compl = comb.output_phase;
+      bool valid = true;
+      for (unsigned j = 0; j < cell.num_inputs; ++j) {
+        unsigned leaf = comb.perm[j];
+        if (leaf >= num_leaves) {
+          // The cell pin would read a padding variable; only possible if the
+          // cut function ignores a leaf — skip such degenerate matches.
+          valid = false;
+          break;
+        }
+        m.pin_leaf[j] = static_cast<std::uint8_t>(leaf);
+        if ((comb.input_phase >> j) & 1u) {
+          m.pin_compl |= static_cast<std::uint8_t>(1u << j);
+        }
+      }
+      if (valid) matches.push_back(m);
+    }
+  }
+  auto [it, inserted] = match_cache_.emplace(tt, std::move(matches));
+  (void)inserted;
+  return it->second;
+}
+
+}  // namespace emorphic

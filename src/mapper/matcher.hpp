@@ -1,0 +1,58 @@
+#pragma once
+// Boolean matching of cut functions against library cells via NPN
+// canonicalization. Preprocessing canonicalizes every cell once; at mapping
+// time each cut's canonical form is computed (with memoization — cut
+// functions repeat heavily) and the stored transforms are composed to give,
+// for every matching cell, the pin-to-leaf assignment, which leaf phases
+// are needed, and whether the gate output implements the complement.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/truth.hpp"
+#include "mapper/cell_library.hpp"
+
+namespace emorphic {
+
+/// A concrete way to implement a cut function with a library cell.
+struct CellMatch {
+  std::uint32_t cell = 0;
+  /// pin_leaf[j]: index (into the cut's leaves) feeding cell pin j.
+  std::array<std::uint8_t, 4> pin_leaf{{0, 0, 0, 0}};
+  /// pin_compl bit j: pin j needs the *complement* of that leaf.
+  std::uint8_t pin_compl = 0;
+  /// The gate computes the complement of the cut function.
+  bool output_compl = false;
+};
+
+class Matcher {
+ public:
+  explicit Matcher(const CellLibrary& library);
+
+  /// All cell implementations of `tt` (a function of `num_leaves` <= 4
+  /// variables, padded into the 4-variable domain).
+  const std::vector<CellMatch>& match(Tt tt, unsigned num_leaves);
+
+  const CellLibrary& library() const { return library_; }
+
+ private:
+  struct CanonEntry {
+    Tt canon;
+    NpnTransform transform;
+  };
+  CanonEntry canon_of(Tt tt);
+
+  const CellLibrary& library_;
+  /// canonical tt -> matches expressed against the canonical form
+  struct CellEntry {
+    std::uint32_t cell;
+    NpnTransform transform;  // canon == npn_apply(cell_tt, transform)
+  };
+  std::unordered_map<Tt, std::vector<CellEntry>> canon_cells_;
+  std::unordered_map<Tt, CanonEntry> canon_cache_;
+  std::unordered_map<Tt, std::vector<CellMatch>> match_cache_;
+  const std::vector<CellMatch> empty_;
+};
+
+}  // namespace emorphic

@@ -1,0 +1,63 @@
+#pragma once
+// A mapped (gate-level) netlist: the output of technology mapping and the
+// object whose area / delay Table II reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "mapper/cell_library.hpp"
+
+namespace emorphic {
+
+struct MappedGate {
+  std::uint32_t cell = 0;                // index into the library
+  std::vector<std::uint32_t> inputs;     // net ids, in cell pin order
+  std::uint32_t output = 0;              // net id
+};
+
+/// A combinational mapped netlist over a cell library.
+class MappedNetlist {
+ public:
+  explicit MappedNetlist(const CellLibrary* library) : library_(library) {}
+
+  std::uint32_t add_net(std::string name);
+  std::uint32_t add_gate(MappedGate gate);
+  void add_pi(std::uint32_t net) { pis_.push_back(net); }
+  void add_po(std::uint32_t net, std::string name);
+  void set_const_net(std::uint32_t net, bool value);
+
+  const CellLibrary& library() const { return *library_; }
+  const std::vector<MappedGate>& gates() const { return gates_; }
+  const std::vector<std::uint32_t>& pis() const { return pis_; }
+  const std::vector<std::uint32_t>& pos() const { return pos_; }
+  const std::string& net_name(std::uint32_t net) const { return net_names_[net]; }
+  std::size_t num_nets() const { return net_names_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+
+  /// Total cell area (µm²).
+  double area() const;
+  /// Static worst-case arrival at any PO under the fixed-delay model (ps).
+  double delay() const;
+  /// Per-net arrival times.
+  std::vector<double> arrival_times() const;
+
+  /// Rebuild an AIG with the same function (ABC's `st` applied to a mapped
+  /// network): each gate contributes its function, built from its tt.
+  Aig to_aig() const;
+
+  /// BLIF dump (gates as .gate lines).
+  std::string to_blif(const std::string& model_name) const;
+
+ private:
+  const CellLibrary* library_;
+  std::vector<MappedGate> gates_;
+  std::vector<std::string> net_names_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::string> po_names_;
+  std::vector<std::pair<std::uint32_t, bool>> const_nets_;
+};
+
+}  // namespace emorphic

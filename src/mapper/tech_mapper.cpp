@@ -1,0 +1,328 @@
+#include "mapper/tech_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "aig/cut.hpp"
+
+namespace emorphic {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct PhaseMatch {
+  double arrival = kInf;
+  double area_flow = kInf;
+  std::int32_t cut = -1;          // cut index at the node
+  std::int32_t match = -1;        // index into the matcher's match list
+  bool via_inv = false;           // implemented as INV(other phase)
+  bool is_const = false;          // node is semantically constant in this phase
+};
+
+struct NodeState {
+  PhaseMatch phase[2];
+};
+
+Tt pad4(const Cut& cut) {
+  std::array<std::uint8_t, 6> identity{{0, 1, 2, 3, 4, 5}};
+  return tt_expand(cut.tt, cut.size, 4, identity);
+}
+
+}  // namespace
+
+MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
+                           const MapperParams& params) {
+  if (params.cut_size > 4) {
+    throw std::invalid_argument("map_to_cells: cut_size must be <= 4");
+  }
+  CutParams cut_params;
+  cut_params.cut_size = params.cut_size;
+  cut_params.num_cuts = params.num_cuts;
+  CutManager cuts(aig, cut_params);
+  Matcher matcher(library);
+
+  const Cell& inv = library.cell(library.inverter());
+  auto fanout = aig.fanout_counts();
+  std::vector<NodeState> state(aig.num_nodes());
+
+  // Constant node: both phases available "for free" as tie nets.
+  state[0].phase[0] = PhaseMatch{0.0, 0.0, -1, -1, false};
+  state[0].phase[1] = PhaseMatch{0.0, 0.0, -1, -1, false};
+
+  auto close_phases = [&](Var v) {
+    for (int p = 0; p < 2; ++p) {
+      const PhaseMatch& other = state[v].phase[1 - p];
+      if (other.arrival == kInf || other.via_inv) continue;
+      double arrival = other.arrival + inv.delay;
+      double flow = other.area_flow + inv.area;
+      PhaseMatch& mine = state[v].phase[p];
+      if (arrival < mine.arrival ||
+          (arrival == mine.arrival && flow < mine.area_flow)) {
+        mine = PhaseMatch{arrival, flow, -1, -1, true};
+      }
+    }
+  };
+
+  // --- Pass 1: delay-optimal matching in topological order ---------------
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (aig.is_pi(v)) {
+      state[v].phase[0] = PhaseMatch{0.0, 0.0, -1, -1, false};
+      close_phases(v);
+      continue;
+    }
+    double refs = std::max<double>(1.0, fanout[v]);
+    const auto& node_cuts = cuts.cuts(v);
+    for (std::int32_t ci = 0; ci < static_cast<std::int32_t>(node_cuts.size());
+         ++ci) {
+      const Cut& cut = node_cuts[ci];
+      if (cut.is_trivial(v)) continue;
+      // Structural hashing removes syntactic constants, but a node can
+      // still be *semantically* constant (it matches no cell then).
+      if ((cut.tt & tt_mask(cut.size)) == 0 ||
+          (cut.tt & tt_mask(cut.size)) == tt_mask(cut.size)) {
+        int p = (cut.tt & tt_mask(cut.size)) == 0 ? 0 : 1;
+        PhaseMatch& slot = state[v].phase[p];
+        if (slot.arrival > 0.0) {
+          slot = PhaseMatch{0.0, 0.0, -1, -1, false, true};
+        }
+        continue;
+      }
+      const auto& matches = matcher.match(pad4(cut), cut.size);
+      for (std::int32_t mi = 0; mi < static_cast<std::int32_t>(matches.size());
+           ++mi) {
+        const CellMatch& m = matches[mi];
+        const Cell& cell = library.cell(m.cell);
+        double arrival = 0.0;
+        double flow = cell.area;
+        bool feasible = true;
+        for (unsigned j = 0; j < cell.num_inputs; ++j) {
+          Var leaf = cut.leaves[m.pin_leaf[j]];
+          int ph = (m.pin_compl >> j) & 1;
+          const PhaseMatch& lm = state[leaf].phase[ph];
+          if (lm.arrival == kInf) {
+            feasible = false;
+            break;
+          }
+          arrival = std::max(arrival, lm.arrival);
+          flow += lm.area_flow;
+        }
+        if (!feasible) continue;
+        arrival += cell.delay;
+        flow /= refs;
+        int p = m.output_compl ? 1 : 0;
+        PhaseMatch& slot = state[v].phase[p];
+        if (arrival < slot.arrival ||
+            (arrival == slot.arrival && flow < slot.area_flow)) {
+          slot = PhaseMatch{arrival, flow, ci, mi, false};
+        }
+      }
+    }
+    close_phases(v);
+    if (state[v].phase[0].arrival == kInf &&
+        state[v].phase[1].arrival == kInf) {
+      throw std::runtime_error(
+          "map_to_cells: node has no match; is the library NPN-complete for "
+          "2-input ANDs?");
+    }
+  }
+
+  // --- Pass 2: required-time-aware area recovery -------------------------
+  // Cover of pass 1 defines the delay target; off-critical nodes re-select
+  // the cheapest match that still meets their required time.
+  std::vector<std::array<double, 2>> required(
+      aig.num_nodes(), {kInf, kInf});
+  double target = 0.0;
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    Lit po = aig.po(i);
+    int p = lit_is_compl(po) ? 1 : 0;
+    target = std::max(target, state[lit_var(po)].phase[p].arrival);
+  }
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    Lit po = aig.po(i);
+    int p = lit_is_compl(po) ? 1 : 0;
+    auto& req = required[lit_var(po)][p];
+    req = std::min(req, target);
+  }
+
+  if (params.area_recovery) {
+    for (Var v = static_cast<Var>(aig.num_nodes()) - 1; v >= 1; --v) {
+      if (!aig.is_and(v)) {
+        // PI: propagate requirement through the phase-closing inverter.
+        if (required[v][1] != kInf) {
+          required[v][0] = std::min(required[v][0], required[v][1] - inv.delay);
+        }
+        continue;
+      }
+      // Inverter-bridged phases first, so a requirement arriving at the
+      // derived phase reaches the source phase before it is re-selected.
+      for (int p = 0; p < 2; ++p) {
+        if (state[v].phase[p].via_inv && required[v][p] != kInf) {
+          required[v][1 - p] =
+              std::min(required[v][1 - p], required[v][p] - inv.delay);
+        }
+      }
+      for (int p = 0; p < 2; ++p) {
+        double req = required[v][p];
+        if (req == kInf) continue;  // not in the cover
+        PhaseMatch& slot = state[v].phase[p];
+        if (slot.via_inv || slot.is_const) continue;
+        // Re-select: cheapest (area-flow) match meeting the requirement.
+        const auto& node_cuts = cuts.cuts(v);
+        double best_flow = slot.area_flow;
+        for (std::int32_t ci = 0;
+             ci < static_cast<std::int32_t>(node_cuts.size()); ++ci) {
+          const Cut& cut = node_cuts[ci];
+          if (cut.is_trivial(v)) continue;
+          const auto& matches = matcher.match(pad4(cut), cut.size);
+          for (std::int32_t mi = 0;
+               mi < static_cast<std::int32_t>(matches.size()); ++mi) {
+            const CellMatch& m = matches[mi];
+            if ((m.output_compl ? 1 : 0) != p) continue;
+            const Cell& cell = library.cell(m.cell);
+            double arrival = 0.0;
+            double flow = cell.area;
+            bool feasible = true;
+            for (unsigned j = 0; j < cell.num_inputs; ++j) {
+              Var leaf = cut.leaves[m.pin_leaf[j]];
+              int ph = (m.pin_compl >> j) & 1;
+              const PhaseMatch& lm = state[leaf].phase[ph];
+              if (lm.arrival == kInf) {
+                feasible = false;
+                break;
+              }
+              arrival = std::max(arrival, lm.arrival);
+              flow += lm.area_flow;
+            }
+            if (!feasible) continue;
+            arrival += cell.delay;
+            if (arrival > req) continue;
+            if (flow < best_flow) {
+              best_flow = flow;
+              slot = PhaseMatch{arrival, flow, ci, mi, false};
+            }
+          }
+        }
+        // Propagate requirements to the chosen match's leaves.
+        const Cut& cut = node_cuts[slot.cut];
+        const auto& matches = matcher.match(pad4(cut), cut.size);
+        const CellMatch& m = matches[slot.match];
+        const Cell& cell = library.cell(m.cell);
+        for (unsigned j = 0; j < cell.num_inputs; ++j) {
+          Var leaf = cut.leaves[m.pin_leaf[j]];
+          int ph = (m.pin_compl >> j) & 1;
+          required[leaf][ph] =
+              std::min(required[leaf][ph], req - cell.delay);
+        }
+      }
+    }
+  }
+
+  // --- Pass 3: netlist construction ---------------------------------------
+  MappedNetlist netlist(&library);
+  constexpr std::uint32_t kNoNet = 0xffffffffu;
+  std::vector<std::array<std::uint32_t, 2>> net(aig.num_nodes(),
+                                                {kNoNet, kNoNet});
+  // Primary-input nets exist up front.
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    Var v = aig.pis()[i];
+    net[v][0] = netlist.add_net(aig.pi_name(i));
+    netlist.add_pi(net[v][0]);
+  }
+
+  // Iterative emission: a (var, phase) is emitted after its inputs.
+  struct Want {
+    Var v;
+    int p;
+  };
+  std::vector<Want> stack;
+  auto need = [&](Var v, int p) {
+    if (net[v][p] == kNoNet) stack.push_back(Want{v, p});
+  };
+  for (Lit po : aig.pos()) need(lit_var(po), lit_is_compl(po) ? 1 : 0);
+
+  auto net_name_for = [&](Var v, int p) {
+    std::string name = "n" + std::to_string(v);
+    if (p == 1) name += "_b";
+    return name;
+  };
+
+  while (!stack.empty()) {
+    auto [v, p] = stack.back();
+    if (net[v][p] != kNoNet) {
+      stack.pop_back();
+      continue;
+    }
+    if (aig.is_const0(v)) {
+      net[v][p] = netlist.add_net(p == 0 ? "const0" : "const1");
+      netlist.set_const_net(net[v][p], p == 1);
+      stack.pop_back();
+      continue;
+    }
+    const PhaseMatch& slot = state[v].phase[p];
+    assert(slot.arrival != kInf);
+    if (slot.is_const) {
+      // Semantically constant node: tie the net directly.
+      net[v][p] = netlist.add_net(net_name_for(v, p));
+      netlist.set_const_net(net[v][p], p == 1);
+      stack.pop_back();
+      continue;
+    }
+    if (slot.via_inv || (aig.is_pi(v) && p == 1)) {
+      int src = 1 - p;
+      if (net[v][src] == kNoNet) {
+        stack.push_back(Want{v, src});
+        continue;
+      }
+      std::uint32_t out_net = netlist.add_net(net_name_for(v, p));
+      netlist.add_gate(
+          MappedGate{library.inverter(), {net[v][src]}, out_net});
+      net[v][p] = out_net;
+      stack.pop_back();
+      continue;
+    }
+    const Cut& cut = cuts.cuts(v)[slot.cut];
+    const auto& matches = matcher.match(pad4(cut), cut.size);
+    const CellMatch& m = matches[slot.match];
+    const Cell& cell = library.cell(m.cell);
+    bool pending = false;
+    for (unsigned j = 0; j < cell.num_inputs; ++j) {
+      Var leaf = cut.leaves[m.pin_leaf[j]];
+      int ph = (m.pin_compl >> j) & 1;
+      if (net[leaf][ph] == kNoNet) {
+        stack.push_back(Want{leaf, ph});
+        pending = true;
+      }
+    }
+    if (pending) continue;
+    MappedGate gate;
+    gate.cell = m.cell;
+    gate.inputs.resize(cell.num_inputs);
+    for (unsigned j = 0; j < cell.num_inputs; ++j) {
+      Var leaf = cut.leaves[m.pin_leaf[j]];
+      int ph = (m.pin_compl >> j) & 1;
+      gate.inputs[j] = net[leaf][ph];
+    }
+    gate.output = netlist.add_net(net_name_for(v, p));
+    net[v][p] = gate.output;
+    netlist.add_gate(std::move(gate));
+    stack.pop_back();
+  }
+
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    Lit po = aig.po(i);
+    int p = lit_is_compl(po) ? 1 : 0;
+    netlist.add_po(net[lit_var(po)][p], aig.po_name(i));
+  }
+  return netlist;
+}
+
+MappedQor map_qor(const Aig& aig, const CellLibrary& library,
+                  const MapperParams& params) {
+  MappedNetlist netlist = map_to_cells(aig, library, params);
+  return MappedQor{netlist.area(), netlist.delay()};
+}
+
+}  // namespace emorphic

@@ -1,0 +1,41 @@
+#pragma once
+// Standard-cell technology mapping with priority cuts [23]:
+//
+//  * k-feasible priority cuts per AIG node (cut.hpp),
+//  * NPN Boolean matching against the library (matcher.hpp),
+//  * phase-aware dynamic programming: every node carries the best
+//    implementation of both its positive and its negative polarity,
+//    bridged by inverters at cost — complemented AIG edges therefore map
+//    without any pre-lowering,
+//  * a delay-optimal first pass followed by required-time-aware area
+//    recovery (area-flow selection off the critical path),
+//  * netlist construction (netlist.hpp) for the chosen cover.
+//
+// This is both the paper's `map` step and the quality-prioritized cost
+// oracle that scores candidate extractions during simulated annealing.
+
+#include "aig/aig.hpp"
+#include "mapper/matcher.hpp"
+#include "mapper/netlist.hpp"
+
+namespace emorphic {
+
+struct MapperParams {
+  unsigned cut_size = 4;   // cells have at most 4 pins
+  unsigned num_cuts = 8;   // priority cuts per node
+  bool area_recovery = true;
+};
+
+/// Map an AIG onto the library; returns the mapped netlist.
+MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
+                           const MapperParams& params = {});
+
+/// Convenience: map and report {area, delay} only.
+struct MappedQor {
+  double area = 0.0;
+  double delay = 0.0;
+};
+MappedQor map_qor(const Aig& aig, const CellLibrary& library,
+                  const MapperParams& params = {});
+
+}  // namespace emorphic

@@ -1,0 +1,46 @@
+#include "ml/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace emorphic {
+
+namespace {
+std::vector<double> to_vec(const FeatureVector& f) {
+  return std::vector<double>(f.begin(), f.end());
+}
+}  // namespace
+
+MlCostModel::MlCostModel(const MlpParams& params)
+    : delay_model_(std::make_unique<Mlp>(kNumFeatures, params)),
+      area_model_(std::make_unique<Mlp>(kNumFeatures, params)) {}
+
+void MlCostModel::train(const std::vector<FeatureVector>& features,
+                        const std::vector<double>& delays,
+                        const std::vector<double>& areas) {
+  if (features.size() != delays.size() || features.size() != areas.size()) {
+    throw std::invalid_argument("MlCostModel::train: size mismatch");
+  }
+  std::vector<std::vector<double>> X;
+  X.reserve(features.size());
+  for (const auto& f : features) X.push_back(to_vec(f));
+  delay_model_->train(X, delays);
+  area_model_->train(X, areas);
+}
+
+double MlCostModel::predict_delay(const FeatureVector& f) const {
+  return delay_model_->predict(to_vec(f));
+}
+
+double MlCostModel::predict_area(const FeatureVector& f) const {
+  return area_model_->predict(to_vec(f));
+}
+
+Qor MlCostModel::evaluate(const Aig& candidate) const {
+  if (!trained()) {
+    throw std::logic_error("MlCostModel used before training");
+  }
+  FeatureVector f = extract_features(candidate);
+  return Qor{predict_area(f), predict_delay(f)};
+}
+
+}  // namespace emorphic

@@ -1,0 +1,39 @@
+#pragma once
+// The runtime-prioritized cost model (Sec. III-C.1): an ML regressor that
+// predicts the post-mapping delay (and area) of a candidate AIG from graph
+// features, standing in for the HOGA model the paper fine-tunes on
+// OpenABC-D. Training data comes from dataset.hpp: random structural
+// variants of the benchmark circuits labelled by the exact mapper.
+
+#include <memory>
+
+#include "extract/sa_extractor.hpp"
+#include "ml/features.hpp"
+#include "ml/mlp.hpp"
+
+namespace emorphic {
+
+class MlCostModel : public QorEvaluator {
+ public:
+  explicit MlCostModel(const MlpParams& params = {});
+
+  /// Train the delay (and area) heads on labelled samples.
+  void train(const std::vector<FeatureVector>& features,
+             const std::vector<double>& delays,
+             const std::vector<double>& areas);
+
+  /// Predict from features directly (no mapping performed).
+  double predict_delay(const FeatureVector& f) const;
+  double predict_area(const FeatureVector& f) const;
+
+  bool trained() const { return delay_model_->trained(); }
+
+  // QorEvaluator: feature extraction + two regressions; no mapping at all.
+  Qor evaluate(const Aig& candidate) const override;
+
+ private:
+  std::unique_ptr<Mlp> delay_model_;
+  std::unique_ptr<Mlp> area_model_;
+};
+
+}  // namespace emorphic

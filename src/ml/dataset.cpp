@@ -1,0 +1,49 @@
+#include "ml/dataset.hpp"
+
+#include "egraph/rules.hpp"
+#include "extract/extractor.hpp"
+#include "flow/conversion.hpp"
+#include "util/rng.hpp"
+
+namespace emorphic {
+
+void Dataset::append(const Dataset& other) {
+  features.insert(features.end(), other.features.begin(), other.features.end());
+  delays.insert(delays.end(), other.delays.begin(), other.delays.end());
+  areas.insert(areas.end(), other.areas.begin(), other.areas.end());
+}
+
+Dataset generate_variants(const Aig& circuit, const CellLibrary& library,
+                          const DatasetParams& params) {
+  Dataset out;
+  CircuitEGraph ce = aig_to_egraph(circuit);
+  static const std::vector<Rewrite> rules = make_logic_rules();
+  run_rewriting(ce.egraph, rules, params.rewrite);
+
+  Rng rng(params.seed ^ (circuit.num_ands() * 0x9e3779b97f4a7c15ull));
+  for (unsigned k = 0; k < params.variants_per_circuit; ++k) {
+    Extraction solution = k == 0
+                              ? greedy_extract(ce.egraph, CostModel{CostKind::kDepth})
+                              : random_extract(ce.egraph, rng);
+    Aig variant = egraph_to_aig(ce, solution);
+    MappedQor qor = map_qor(variant, library, params.mapping);
+    out.features.push_back(extract_features(variant));
+    out.delays.push_back(qor.delay);
+    out.areas.push_back(qor.area);
+  }
+  return out;
+}
+
+void split_dataset(const Dataset& all, unsigned test_every, Dataset* train,
+                   Dataset* test) {
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    Dataset* dst = (test_every > 0 && i % test_every == test_every - 1)
+                       ? test
+                       : train;
+    dst->features.push_back(all.features[i]);
+    dst->delays.push_back(all.delays[i]);
+    dst->areas.push_back(all.areas[i]);
+  }
+}
+
+}  // namespace emorphic

@@ -1,0 +1,74 @@
+#include "ml/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emorphic {
+
+namespace {
+constexpr const char* kFeatureNames[kNumFeatures] = {
+    "log_num_ands",    "log_num_pis",      "log_num_pos",
+    "log_levels",      "ands_per_pi",      "ands_per_level",
+    "avg_fanout",      "max_fanout_norm",  "frac_compl_edges",
+    "frac_po_compl",   "levels_per_log2n", "hist0",
+    "hist1",           "hist2",            "hist3",
+    "hist4",           "hist5",            "bias",
+};
+}  // namespace
+
+const char* feature_name(unsigned index) { return kFeatureNames[index]; }
+
+FeatureVector extract_features(const Aig& aig) {
+  FeatureVector f{};
+  const double n_ands = std::max<double>(1.0, aig.num_ands());
+  const double n_pis = std::max<double>(1.0, aig.num_pis());
+  const double n_pos = std::max<double>(1.0, aig.num_pos());
+  auto levels = aig.levels();
+  const double depth = std::max<double>(1.0, aig.num_levels());
+
+  f[0] = std::log2(n_ands);
+  f[1] = std::log2(n_pis);
+  f[2] = std::log2(n_pos);
+  f[3] = std::log2(depth);
+  f[4] = n_ands / n_pis;
+  f[5] = n_ands / depth;
+
+  auto fanout = aig.fanout_counts();
+  double fanout_sum = 0.0, fanout_max = 0.0;
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    fanout_sum += fanout[v];
+    fanout_max = std::max<double>(fanout_max, fanout[v]);
+  }
+  double num_nodes = std::max<double>(1.0, aig.num_nodes() - 1);
+  f[6] = fanout_sum / num_nodes;
+  f[7] = fanout_max / std::max(1.0, fanout_sum / num_nodes) / 64.0;
+
+  double compl_edges = 0.0, total_edges = 0.0;
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) continue;
+    total_edges += 2.0;
+    compl_edges += lit_is_compl(aig.fanin0(v)) ? 1.0 : 0.0;
+    compl_edges += lit_is_compl(aig.fanin1(v)) ? 1.0 : 0.0;
+  }
+  f[8] = total_edges > 0 ? compl_edges / total_edges : 0.0;
+
+  double po_compl = 0.0;
+  for (Lit po : aig.pos()) po_compl += lit_is_compl(po) ? 1.0 : 0.0;
+  f[9] = po_compl / n_pos;
+  f[10] = depth / std::max(1.0, std::log2(n_ands + 1.0));
+
+  // Level histogram: how the AND nodes distribute across 6 depth buckets.
+  std::array<double, 6> hist{};
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) continue;
+    unsigned bucket = static_cast<unsigned>(
+        std::min(5.0, 6.0 * static_cast<double>(levels[v]) / (depth + 1.0)));
+    hist[bucket] += 1.0;
+  }
+  for (unsigned i = 0; i < 6; ++i) f[11 + i] = hist[i] / n_ands;
+
+  f[17] = 1.0;  // bias
+  return f;
+}
+
+}  // namespace emorphic

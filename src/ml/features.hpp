@@ -1,0 +1,25 @@
+#pragma once
+// Graph feature extraction for the ML cost model. The paper feeds a HOGA
+// GNN [24] with "node type, AIG topo, node depth, edge list" (Fig. 5); this
+// reproduction condenses the same information into a fixed-length vector:
+// size/depth counts, fanout statistics, edge-polarity mix, and a normalized
+// level histogram capturing the depth profile.
+
+#include <array>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+inline constexpr unsigned kNumFeatures = 18;
+using FeatureVector = std::array<double, kNumFeatures>;
+
+/// Extract features from an AIG. All entries are size-normalized or
+/// log-scaled so one model generalizes across circuits.
+FeatureVector extract_features(const Aig& aig);
+
+/// Feature names (for documentation / debugging), parallel to the vector.
+const char* feature_name(unsigned index);
+
+}  // namespace emorphic

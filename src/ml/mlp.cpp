@@ -1,0 +1,186 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace emorphic {
+
+Mlp::Mlp(unsigned num_inputs, const MlpParams& params)
+    : num_inputs_(num_inputs), params_(params) {
+  Rng rng(params_.seed);
+  auto init = [&] {
+    // Xavier-ish initialization in [-r, r].
+    double r = std::sqrt(6.0 / (num_inputs_ + params_.hidden));
+    return (rng.next_double() * 2.0 - 1.0) * r;
+  };
+  w1_.resize(static_cast<std::size_t>(params_.hidden) * num_inputs_);
+  for (auto& w : w1_) w = init();
+  b1_.assign(params_.hidden, 0.0);
+  w2_.resize(params_.hidden);
+  for (auto& w : w2_) w = init();
+}
+
+void Mlp::standardize(std::vector<double>& x) const {
+  for (unsigned i = 0; i < num_inputs_; ++i) {
+    x[i] = (x[i] - feat_mean_[i]) / feat_std_[i];
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x,
+                                 std::vector<double>* hidden_out) const {
+  std::vector<double> h(params_.hidden);
+  for (unsigned j = 0; j < params_.hidden; ++j) {
+    double acc = b1_[j];
+    const double* row = &w1_[static_cast<std::size_t>(j) * num_inputs_];
+    for (unsigned i = 0; i < num_inputs_; ++i) acc += row[i] * x[i];
+    h[j] = std::tanh(acc);
+  }
+  if (hidden_out != nullptr) *hidden_out = h;
+  return h;
+}
+
+double Mlp::train(const std::vector<std::vector<double>>& inputs,
+                  const std::vector<double>& targets) {
+  assert(inputs.size() == targets.size() && !inputs.empty());
+  const std::size_t n = inputs.size();
+
+  // Standardization statistics.
+  feat_mean_.assign(num_inputs_, 0.0);
+  feat_std_.assign(num_inputs_, 0.0);
+  for (const auto& x : inputs) {
+    for (unsigned i = 0; i < num_inputs_; ++i) feat_mean_[i] += x[i];
+  }
+  for (auto& m : feat_mean_) m /= static_cast<double>(n);
+  for (const auto& x : inputs) {
+    for (unsigned i = 0; i < num_inputs_; ++i) {
+      double d = x[i] - feat_mean_[i];
+      feat_std_[i] += d * d;
+    }
+  }
+  for (auto& s : feat_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-9) s = 1.0;
+  }
+  target_mean_ = 0.0;
+  for (double t : targets) target_mean_ += t;
+  target_mean_ /= static_cast<double>(n);
+  target_std_ = 0.0;
+  for (double t : targets) {
+    target_std_ += (t - target_mean_) * (t - target_mean_);
+  }
+  target_std_ = std::sqrt(target_std_ / static_cast<double>(n));
+  if (target_std_ < 1e-9) target_std_ = 1.0;
+
+  std::vector<std::vector<double>> X(n);
+  std::vector<double> Y(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    X[k] = inputs[k];
+    standardize(X[k]);
+    Y[k] = (targets[k] - target_mean_) / target_std_;
+  }
+
+  // SGD with momentum.
+  std::vector<double> vw1(w1_.size(), 0.0), vb1(b1_.size(), 0.0),
+      vw2(w2_.size(), 0.0);
+  double vb2 = 0.0;
+  Rng rng(params_.seed ^ 0x5bd1e995u);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  double last_loss = 0.0;
+  for (unsigned epoch = 0; epoch < params_.epochs; ++epoch) {
+    // Fisher-Yates shuffle.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    double loss = 0.0;
+    for (std::size_t start = 0; start < n; start += params_.batch_size) {
+      std::size_t end = std::min(n, start + params_.batch_size);
+      std::vector<double> gw1(w1_.size(), 0.0), gb1(b1_.size(), 0.0),
+          gw2(w2_.size(), 0.0);
+      double gb2 = 0.0;
+      for (std::size_t k = start; k < end; ++k) {
+        const auto& x = X[order[k]];
+        double y = Y[order[k]];
+        std::vector<double> h;
+        forward(x, &h);
+        double out = b2_;
+        for (unsigned j = 0; j < params_.hidden; ++j) out += w2_[j] * h[j];
+        double err = out - y;
+        loss += err * err;
+        gb2 += err;
+        for (unsigned j = 0; j < params_.hidden; ++j) {
+          gw2[j] += err * h[j];
+          double dh = err * w2_[j] * (1.0 - h[j] * h[j]);
+          gb1[j] += dh;
+          double* grow = &gw1[static_cast<std::size_t>(j) * num_inputs_];
+          for (unsigned i = 0; i < num_inputs_; ++i) grow[i] += dh * x[i];
+        }
+      }
+      double scale = params_.learning_rate / static_cast<double>(end - start);
+      for (std::size_t i = 0; i < w1_.size(); ++i) {
+        vw1[i] = params_.momentum * vw1[i] - scale * gw1[i];
+        w1_[i] += vw1[i];
+      }
+      for (std::size_t i = 0; i < b1_.size(); ++i) {
+        vb1[i] = params_.momentum * vb1[i] - scale * gb1[i];
+        b1_[i] += vb1[i];
+      }
+      for (std::size_t i = 0; i < w2_.size(); ++i) {
+        vw2[i] = params_.momentum * vw2[i] - scale * gw2[i];
+        w2_[i] += vw2[i];
+      }
+      vb2 = params_.momentum * vb2 - scale * gb2;
+      b2_ += vb2;
+    }
+    last_loss = loss / static_cast<double>(n);
+  }
+  trained_ = true;
+  return last_loss;
+}
+
+double Mlp::predict(const std::vector<double>& input) const {
+  std::vector<double> x = input;
+  standardize(x);
+  std::vector<double> h = forward(x, nullptr);
+  double out = b2_;
+  for (unsigned j = 0; j < params_.hidden; ++j) out += w2_[j] * h[j];
+  return out * target_std_ + target_mean_;
+}
+
+double mape(const std::vector<double>& predicted,
+            const std::vector<double>& actual) {
+  assert(predicted.size() == actual.size() && !actual.empty());
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < 1e-12) continue;
+    total += std::abs((predicted[i] - actual[i]) / actual[i]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : 100.0 * total / static_cast<double>(counted);
+}
+
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 1.0;
+  std::int64_t concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      double prod = da * db;
+      if (prod > 0) {
+        ++concordant;
+      } else if (prod < 0) {
+        ++discordant;
+      }
+    }
+  }
+  double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) / pairs;
+}
+
+}  // namespace emorphic

@@ -1,0 +1,61 @@
+#pragma once
+// A small multi-layer perceptron regressor with one hidden layer, trained
+// with mini-batch SGD + momentum. Stands in for the HOGA model [24] in the
+// runtime-prioritized cost mode (Sec. III-C.1): accuracy is traded for
+// evaluation speed, exactly the trade the paper makes.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace emorphic {
+
+struct MlpParams {
+  unsigned hidden = 24;
+  unsigned epochs = 200;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  unsigned batch_size = 16;
+  std::uint64_t seed = 7;
+};
+
+class Mlp {
+ public:
+  Mlp(unsigned num_inputs, const MlpParams& params);
+
+  /// Train on (X, y); features and targets are standardized internally.
+  /// Returns the final training loss (MSE in standardized units).
+  double train(const std::vector<std::vector<double>>& inputs,
+               const std::vector<double>& targets);
+
+  /// Predict a target for one feature vector (de-standardized).
+  double predict(const std::vector<double>& input) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  std::vector<double> forward(const std::vector<double>& x,
+                              std::vector<double>* hidden_out) const;
+  void standardize(std::vector<double>& x) const;
+
+  unsigned num_inputs_;
+  MlpParams params_;
+  // weights: hidden x inputs (+bias), output: hidden (+bias)
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+  std::vector<double> feat_mean_, feat_std_;
+  double target_mean_ = 0.0, target_std_ = 1.0;
+  bool trained_ = false;
+};
+
+// --- Evaluation metrics reported in Sec. IV-D ------------------------------
+
+/// Mean absolute percentage error (%).
+double mape(const std::vector<double>& predicted,
+            const std::vector<double>& actual);
+
+/// Kendall rank-correlation coefficient (tau-a).
+double kendall_tau(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace emorphic

@@ -1,0 +1,106 @@
+#include "opt/balance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace emorphic {
+
+namespace {
+
+/// Collect the leaves of the maximal AND tree rooted at `lit`: expansion
+/// stops at PIs, complemented edges, and shared (multi-fanout) nodes —
+/// those must remain observable points of the network.
+void collect_and_leaves(const Aig& aig, const std::vector<std::uint32_t>& fanout,
+                        Lit root, std::vector<Lit>& leaves) {
+  std::vector<Lit> stack{root};
+  while (!stack.empty()) {
+    Lit lit = stack.back();
+    stack.pop_back();
+    Var v = lit_var(lit);
+    bool interior =
+        !lit_is_compl(lit) && aig.is_and(v) && (fanout[v] <= 1 || lit == root);
+    if (interior) {
+      stack.push_back(aig.fanin0(v));
+      stack.push_back(aig.fanin1(v));
+    } else {
+      leaves.push_back(lit);
+    }
+  }
+}
+
+/// Incremental level bookkeeping for a growing AIG.
+class LevelTracker {
+ public:
+  explicit LevelTracker(const Aig& aig) : aig_(aig) {}
+
+  std::uint32_t level(Lit lit) {
+    Var v = lit_var(lit);
+    if (v >= levels_.size()) refresh();
+    return levels_[v];
+  }
+
+ private:
+  void refresh() {
+    std::size_t old_size = levels_.size();
+    levels_.resize(aig_.num_nodes(), 0);
+    for (Var v = static_cast<Var>(old_size); v < aig_.num_nodes(); ++v) {
+      if (aig_.is_and(v)) {
+        levels_[v] = 1 + std::max(levels_[lit_var(aig_.fanin0(v))],
+                                  levels_[lit_var(aig_.fanin1(v))]);
+      }
+    }
+  }
+
+  const Aig& aig_;
+  std::vector<std::uint32_t> levels_;
+};
+
+}  // namespace
+
+Aig balance(const Aig& aig) {
+  Aig out = Aig::like(aig);
+  LevelTracker tracker(out);
+  std::vector<Lit> map(aig.num_nodes(), kLitFalse);
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    map[aig.pis()[i]] = make_lit(out.pis()[i]);
+  }
+  auto fanout = aig.fanout_counts();
+  auto translate = [&](Lit old_lit) {
+    return lit_notcond(map[lit_var(old_lit)], lit_is_compl(old_lit));
+  };
+
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) continue;
+    std::vector<Lit> leaves;
+    collect_and_leaves(aig, fanout, make_lit(v), leaves);
+    std::vector<Lit> new_leaves;
+    new_leaves.reserve(leaves.size());
+    for (Lit l : leaves) new_leaves.push_back(translate(l));
+
+    // Huffman-style pairing: repeatedly AND the two shallowest operands
+    // (kept sorted by level descending; the two cheapest sit at the back).
+    std::sort(new_leaves.begin(), new_leaves.end(), [&](Lit a, Lit b) {
+      return tracker.level(a) > tracker.level(b);
+    });
+    while (new_leaves.size() > 1) {
+      Lit x = new_leaves.back();
+      new_leaves.pop_back();
+      Lit y = new_leaves.back();
+      new_leaves.pop_back();
+      Lit z = out.make_and(x, y);
+      // Insert back keeping the descending-by-level order.
+      auto it = std::lower_bound(
+          new_leaves.begin(), new_leaves.end(), z,
+          [&](Lit a, Lit b) { return tracker.level(a) > tracker.level(b); });
+      new_leaves.insert(it, z);
+    }
+    map[v] = new_leaves.empty() ? kLitTrue : new_leaves[0];
+  }
+
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    out.set_po(i, translate(aig.po(i)));
+  }
+  return out.cleanup();
+}
+
+}  // namespace emorphic

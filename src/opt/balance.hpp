@@ -1,0 +1,14 @@
+#pragma once
+// AND-tree balancing (ABC's `balance`): rebuilds every maximal
+// single-fanout AND tree as a delay-balanced tree, combining the
+// lowest-arriving operands first. Never increases depth; typically
+// shortens it substantially on chain-shaped logic.
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// Return a balanced, cleaned-up copy of `aig`.
+Aig balance(const Aig& aig);
+
+}  // namespace emorphic

@@ -1,0 +1,22 @@
+#pragma once
+// Cut-based refactoring (ABC's `refactor`): for each node, derive the
+// irredundant SOP of a large cut, factor it algebraically, and adopt the
+// factored form when it needs fewer AIG nodes than the existing cone.
+// This is the size-recovery half of the technology-independent script and
+// one ingredient of our `dch` substitute.
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+struct RefactorParams {
+  unsigned cut_size = 6;
+  unsigned num_cuts = 6;
+  /// Only consider replacement when the cut has at least this many leaves.
+  unsigned min_cut_size = 3;
+};
+
+/// One refactoring pass over the network; returns the rebuilt AIG.
+Aig refactor(const Aig& aig, const RefactorParams& params = {});
+
+}  // namespace emorphic

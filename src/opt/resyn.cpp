@@ -1,0 +1,16 @@
+#include "opt/resyn.hpp"
+
+#include "opt/balance.hpp"
+#include "opt/refactor.hpp"
+
+namespace emorphic {
+
+Aig strash(const Aig& aig) { return aig.cleanup(); }
+
+Aig resyn(const Aig& aig) { return balance(refactor(balance(aig))); }
+
+Aig dch_substitute(const Aig& aig) {
+  return balance(refactor(balance(refactor(aig))));
+}
+
+}  // namespace emorphic

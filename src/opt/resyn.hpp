@@ -1,0 +1,31 @@
+#pragma once
+// Technology-independent resynthesis scripts composed from the passes in
+// this directory, mirroring the ABC operators the paper's flow invokes:
+//
+//   st   -> strash()          structural hashing + dead-node removal
+//   b    -> balance()         delay-oriented AND-tree balancing
+//   rf   -> refactor()        cut-based size recovery
+//   dch  -> dch_substitute()  see below
+//
+// `dch` in ABC computes *structural choices* by running rewriting scripts
+// and recording intermediate networks for choice-aware mapping. Choices are
+// exactly the mechanism E-morphic's e-graph replaces (and generalizes), so
+// this reproduction substitutes a strong resynthesis script in its place:
+// the baseline stays a competitive delay-oriented flow, and the relative
+// comparison of Table II is preserved (see DESIGN.md, Substitutions).
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// ABC `st`: re-strash and drop dangling nodes.
+Aig strash(const Aig& aig);
+
+/// A light resynthesis script: balance; refactor; balance.
+Aig resyn(const Aig& aig);
+
+/// The `dch` substitute used by the flows: refactor; balance; refactor;
+/// balance. Strictly function-preserving, size-non-increasing.
+Aig dch_substitute(const Aig& aig);
+
+}  // namespace emorphic

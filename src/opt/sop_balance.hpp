@@ -1,0 +1,24 @@
+#pragma once
+// SOP balancing (ABC's `if -g -K 6 -C 8`, Mishchenko et al. [22]): the
+// delay-optimization workhorse of the paper's baseline flow.
+//
+// The circuit is mapped into K-input LUTs with priority cuts, each selected
+// LUT's function is converted to an irredundant SOP, and the SOP is rebuilt
+// as a delay-balanced factored AND/OR tree that pairs the earliest-arriving
+// inputs first. The result is an AIG with (near-)minimum depth under the
+// unit-delay model.
+
+#include "aig/aig.hpp"
+#include "aig/cut.hpp"
+
+namespace emorphic {
+
+struct SopBalanceParams {
+  unsigned cut_size = 6;  // K
+  unsigned num_cuts = 8;  // C
+};
+
+/// One round of SOP balancing; returns the rebuilt AIG.
+Aig sop_balance(const Aig& aig, const SopBalanceParams& params = {});
+
+}  // namespace emorphic

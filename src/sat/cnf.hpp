@@ -1,0 +1,26 @@
+#pragma once
+// Tseitin encoding of AIGs into CNF and miter construction for
+// combinational equivalence checking.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace emorphic::sat {
+
+/// Encode `aig` into `solver`; returns, per AIG variable, its SAT variable.
+/// The constant node is encoded as a variable forced to 0.
+std::vector<SatVar> encode_aig(Solver& solver, const Aig& aig);
+
+/// Translate an AIG literal through the encoding map.
+inline SatLit lit_to_sat(const std::vector<SatVar>& map, Lit lit) {
+  return sat_lit(map[lit_var(lit)], lit_is_compl(lit));
+}
+
+/// Build the standard miter over two AIGs with identical interfaces inside
+/// one solver (shared PI variables): returns one SAT literal that is
+/// satisfiable iff some output pair differs.
+SatLit encode_miter(Solver& solver, const Aig& a, const Aig& b);
+
+}  // namespace emorphic::sat

@@ -1,0 +1,418 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace emorphic::sat {
+
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...) — MiniSat's formulation.
+std::uint64_t luby(std::uint64_t i) {
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return 1ull << seq;
+}
+
+}  // namespace
+
+SatVar Solver::new_vars(std::uint32_t n) {
+  SatVar first = num_vars();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    assign_.push_back(kUndef);
+    saved_phase_.push_back(1);  // default phase: false (lit negated true)
+    reason_.push_back(-1);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_pos_.push_back(-1);
+    heap_insert(first + i);
+  }
+  return first;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  SatVar v = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  SatVar v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_insert(SatVar v) {
+  if (heap_pos_[v] >= 0) return;
+  heap_.push_back(v);
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size() - 1);
+  heap_sift_up(heap_.size() - 1);
+}
+
+SatVar Solver::heap_pop() {
+  SatVar top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::add_clause(std::vector<SatLit> lits) {
+  if (unsat_) return;
+  // Normalize: drop duplicates and satisfied-at-level-0 literals.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<SatLit> kept;
+  for (SatLit l : lits) {
+    if (std::binary_search(lits.begin(), lits.end(), sat_neg(l))) return;  // tautology
+    std::uint8_t v = value(l);
+    if (v == 1 && level_[sat_var(l)] == 0) return;  // already satisfied
+    if (v == 0 && level_[sat_var(l)] == 0) continue;  // falsified forever
+    kept.push_back(l);
+  }
+  if (kept.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (!enqueue(kept[0], -1)) unsat_ = true;
+    if (propagate() >= 0) unsat_ = true;
+    return;
+  }
+  clauses_.push_back(Clause{std::move(kept), false});
+  attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+}
+
+void Solver::attach(std::uint32_t ci) {
+  const Clause& c = clauses_[ci];
+  watches_[sat_neg(c.lits[0])].push_back(Watch{ci, c.lits[1]});
+  watches_[sat_neg(c.lits[1])].push_back(Watch{ci, c.lits[0]});
+}
+
+bool Solver::enqueue(SatLit lit, std::int32_t reason) {
+  std::uint8_t v = value(lit);
+  if (v == 0) return false;
+  if (v == 1) return true;
+  SatVar var = sat_var(lit);
+  assign_[var] = static_cast<std::uint8_t>(1 ^ (lit & 1));
+  reason_[var] = reason;
+  level_[var] = static_cast<std::uint32_t>(trail_lim_.size());
+  trail_.push_back(lit);
+  return true;
+}
+
+std::int32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    SatLit lit = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[lit];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      Watch w = watch_list[i];
+      if (value(w.blocker) == 1) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Ensure the falsified literal is lits[1].
+      SatLit falsified = sat_neg(lit);
+      if (c.lits[0] == falsified) std::swap(c.lits[0], c.lits[1]);
+      if (value(c.lits[0]) == 1) {
+        watch_list[keep++] = Watch{w.clause, c.lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[sat_neg(c.lits[1])].push_back(Watch{w.clause, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = w;
+      if (!enqueue(c.lits[0], static_cast<std::int32_t>(w.clause))) {
+        // Conflict: keep the remaining watches and report.
+        for (std::size_t k = i + 1; k < watch_list.size(); ++k) {
+          watch_list[keep++] = watch_list[k];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return static_cast<std::int32_t>(w.clause);
+      }
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(SatVar v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Rescaling preserves the ordering, so the heap stays valid.
+  }
+  if (heap_pos_[v] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
+}
+
+void Solver::analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
+                     std::uint32_t& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(0);  // slot for the asserting literal
+  std::vector<bool> seen(num_vars(), false);
+  std::uint32_t counter = 0;
+  SatLit p = 0;
+  bool have_p = false;
+  std::size_t index = trail_.size();
+  std::uint32_t current_level = static_cast<std::uint32_t>(trail_lim_.size());
+
+  std::int32_t reason_clause = conflict;
+  for (;;) {
+    assert(reason_clause >= 0);
+    const Clause& c = clauses_[reason_clause];
+    for (std::size_t j = 0; j < c.lits.size(); ++j) {
+      SatLit q = c.lits[j];
+      if (have_p && q == p) continue;  // skip the implied literal itself
+      SatVar v = sat_var(q);
+      if (seen[v] || level_[v] == 0) continue;
+      seen[v] = true;
+      bump(v);
+      if (level_[v] >= current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Select the next literal from the trail. `seen` stays set for the
+    // whole analysis so a variable can never re-enter the learnt clause
+    // through a later reason (the clause must stay asserting).
+    while (!seen[sat_var(trail_[index - 1])]) --index;
+    --index;
+    p = trail_[index];
+    have_p = true;
+    reason_clause = reason_[sat_var(p)];
+    if (--counter == 0) break;
+  }
+  learnt[0] = sat_neg(p);
+
+  backtrack_level = 0;
+  if (learnt.size() > 1) {
+    // Second-highest decision level in the clause; move it to position 1.
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[sat_var(learnt[i])] > level_[sat_var(learnt[max_i])]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[sat_var(learnt[1])];
+  }
+}
+
+void Solver::backtrack(std::uint32_t target) {
+  if (trail_lim_.size() <= target) return;
+  std::uint32_t boundary = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i > boundary; --i) {
+    SatVar v = sat_var(trail_[i - 1]);
+    saved_phase_[v] = assign_[v];
+    assign_[v] = kUndef;
+    reason_[v] = -1;
+    heap_insert(v);
+  }
+  trail_.resize(boundary);
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+void Solver::reduce_learnt_db() {
+  // Glue-based reduction at decision level 0: drop the worse half of the
+  // learnt clauses (high LBD, then long), keeping anything that is
+  // currently a reason. Watches are rebuilt from scratch afterwards —
+  // simple and safe, and reduction is rare enough that it's cheap.
+  assert(trail_lim_.empty());
+  std::unordered_set<std::int32_t> reasons;
+  for (SatLit lit : trail_) {
+    std::int32_t r = reason_[sat_var(lit)];
+    if (r >= 0) reasons.insert(r);
+  }
+  std::vector<std::uint32_t> learnt;
+  for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
+    const Clause& c = clauses_[ci];
+    if (c.learned && !c.deleted && c.lits.size() > 2 &&
+        !reasons.count(static_cast<std::int32_t>(ci))) {
+      learnt.push_back(ci);
+    }
+  }
+  std::sort(learnt.begin(), learnt.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (clauses_[a].lbd != clauses_[b].lbd) {
+      return clauses_[a].lbd > clauses_[b].lbd;
+    }
+    return clauses_[a].lits.size() > clauses_[b].lits.size();
+  });
+  std::size_t to_delete = learnt.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    Clause& c = clauses_[learnt[i]];
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+  }
+  // Rebuild every watch list.
+  for (auto& w : watches_) w.clear();
+  for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (!clauses_[ci].deleted && clauses_[ci].lits.size() >= 2) attach(ci);
+  }
+}
+
+SatLit Solver::pick_branch() {
+  SatVar best = 0;
+  while (!heap_.empty()) {
+    best = heap_pop();
+    if (assign_[best] == kUndef) break;
+  }
+  // saved_phase_ holds the assigned value (0/1); pick the same polarity.
+  return sat_lit(best, saved_phase_[best] != 1);
+}
+
+SatResult Solver::solve(const std::vector<SatLit>& assumptions,
+                        std::uint64_t conflict_limit, double time_limit_s) {
+  if (unsat_) return SatResult::kUnsat;
+  backtrack(0);
+  if (propagate() >= 0) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+
+  Timer timer;
+  std::uint64_t conflicts_here = 0;
+  std::uint64_t restart_index = 0;
+  std::uint64_t restart_budget = 64 * luby(restart_index);
+  std::uint64_t live_learnt = 0;
+  std::uint64_t max_learnt = 8000;
+
+  for (;;) {
+    std::int32_t conflict = propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return SatResult::kUnsat;
+      }
+      std::vector<SatLit> learnt;
+      std::uint32_t bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      // Never backtrack past the assumptions.
+      std::uint32_t floor =
+          static_cast<std::uint32_t>(std::min<std::size_t>(
+              assumptions.size(), trail_lim_.size()));
+      backtrack(std::max(bt_level, 0u) < floor ? floor
+                                               : std::max(bt_level, 0u));
+      if (learnt.size() == 1) {
+        backtrack(0);
+        if (!enqueue(learnt[0], -1)) {
+          unsat_ = true;
+          return SatResult::kUnsat;
+        }
+        // Re-assert assumptions on the next loop iterations.
+      } else {
+        Clause clause{learnt, true, false, 0};
+        // LBD ("glue"): number of distinct decision levels in the clause.
+        std::unordered_set<std::uint32_t> levels;
+        for (SatLit l : learnt) levels.insert(level_[sat_var(l)]);
+        clause.lbd = static_cast<std::uint32_t>(levels.size());
+        clauses_.push_back(std::move(clause));
+        ++stats_.learned;
+        ++live_learnt;
+        attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+        if (!enqueue(learnt[0], static_cast<std::int32_t>(clauses_.size() - 1))) {
+          unsat_ = true;
+          return SatResult::kUnsat;
+        }
+      }
+      decay();
+      if (conflict_limit > 0 && stats_.conflicts >= conflict_limit) {
+        return SatResult::kUndecided;
+      }
+      if (time_limit_s > 0.0 && (stats_.conflicts & 0x3ff) == 0 &&
+          timer.seconds() > time_limit_s) {
+        return SatResult::kUndecided;
+      }
+      if (conflicts_here >= restart_budget) {
+        ++stats_.restarts;
+        conflicts_here = 0;
+        restart_budget = 64 * luby(++restart_index);
+        backtrack(0);
+        if (live_learnt > max_learnt) {
+          reduce_learnt_db();
+          live_learnt /= 2;
+          max_learnt = max_learnt + max_learnt / 3;
+        }
+      }
+      continue;
+    }
+
+    // Re-establish assumptions that a backtrack/restart dropped.
+    if (trail_lim_.size() < assumptions.size()) {
+      SatLit a = assumptions[trail_lim_.size()];
+      std::uint8_t v = value(a);
+      if (v == 0) return SatResult::kUnsat;  // assumption conflict
+      trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      if (v == kUndef) {
+        enqueue(a, -1);
+      }
+      continue;
+    }
+
+    // All variables assigned? (the trail holds exactly the assigned vars)
+    if (trail_.size() == num_vars()) {
+      model_.assign(num_vars(), false);
+      for (SatVar v = 0; v < num_vars(); ++v) model_[v] = assign_[v] == 1;
+      backtrack(0);
+      return SatResult::kSat;
+    }
+
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(pick_branch(), -1);
+  }
+}
+
+}  // namespace emorphic::sat

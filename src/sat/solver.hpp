@@ -1,0 +1,114 @@
+#pragma once
+// A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
+// conflict analysis with clause learning, VSIDS-style activities, phase
+// saving and Luby restarts. It backs the combinational equivalence checker
+// (`cec`) that validates every E-morphic result, as the paper does with
+// ABC's `cec` (Sec. IV-A).
+
+#include <cstdint>
+#include <vector>
+
+namespace emorphic::sat {
+
+using SatVar = std::uint32_t;
+/// Literal encoding mirrors the AIG: 2*var + sign.
+using SatLit = std::uint32_t;
+
+inline constexpr SatLit sat_lit(SatVar v, bool negated = false) {
+  return (v << 1) | static_cast<SatLit>(negated);
+}
+inline constexpr SatVar sat_var(SatLit l) { return l >> 1; }
+inline constexpr bool sat_sign(SatLit l) { return (l & 1) != 0; }
+inline constexpr SatLit sat_neg(SatLit l) { return l ^ 1; }
+
+enum class SatResult { kSat, kUnsat, kUndecided };
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;
+};
+
+class Solver {
+ public:
+  /// Create `n` fresh variables; returns the first.
+  SatVar new_vars(std::uint32_t n = 1);
+  std::uint32_t num_vars() const { return static_cast<std::uint32_t>(assign_.size()); }
+
+  /// Add a clause (empty clause makes the instance trivially UNSAT).
+  void add_clause(std::vector<SatLit> lits);
+  void add_unit(SatLit a) { add_clause({a}); }
+  void add_binary(SatLit a, SatLit b) { add_clause({a, b}); }
+  void add_ternary(SatLit a, SatLit b, SatLit c) { add_clause({a, b, c}); }
+
+  /// Solve under optional assumptions. `conflict_limit` 0 = no limit;
+  /// exceeding it returns kUndecided (the cec effort knob). A positive
+  /// `time_limit_s` bounds wall-clock time the same way.
+  SatResult solve(const std::vector<SatLit>& assumptions = {},
+                  std::uint64_t conflict_limit = 0,
+                  double time_limit_s = 0.0);
+
+  /// Model access after kSat.
+  bool model_value(SatVar v) const { return model_[v]; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  enum : std::uint8_t { kUndef = 2 };
+
+  struct Clause {
+    std::vector<SatLit> lits;
+    bool learned = false;
+    bool deleted = false;
+    std::uint32_t lbd = 0;  // glue: #decision levels in the clause at learn time
+  };
+  struct Watch {
+    std::uint32_t clause;
+    SatLit blocker;
+  };
+
+  bool enqueue(SatLit lit, std::int32_t reason);
+  void reduce_learnt_db();
+  std::int32_t propagate();  // returns conflicting clause index or -1
+  void analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
+               std::uint32_t& backtrack_level);
+  void backtrack(std::uint32_t level);
+  SatLit pick_branch();
+  void bump(SatVar v);
+  void decay() { var_inc_ /= 0.95; }
+  std::uint8_t value(SatLit l) const {
+    std::uint8_t a = assign_[sat_var(l)];
+    if (a == kUndef) return kUndef;
+    return static_cast<std::uint8_t>(a ^ (l & 1));
+  }
+  void attach(std::uint32_t ci);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watch>> watches_;  // indexed by literal
+  std::vector<std::uint8_t> assign_;         // per var: 0/1/kUndef
+  std::vector<std::uint8_t> saved_phase_;
+  std::vector<std::int32_t> reason_;         // clause index or -1
+  std::vector<std::uint32_t> level_;
+  std::vector<SatLit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<bool> model_;
+  bool unsat_ = false;
+  SolverStats stats_;
+
+  // Indexed max-heap over variable activities (MiniSat's order heap):
+  // decisions pop the most active unassigned variable in O(log n).
+  std::vector<SatVar> heap_;            // heap of variables
+  std::vector<std::int32_t> heap_pos_;  // var -> index in heap_, -1 if absent
+  void heap_insert(SatVar v);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  SatVar heap_pop();
+};
+
+}  // namespace emorphic::sat

@@ -1,0 +1,38 @@
+#include "util/logger.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace emorphic {
+namespace {
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel& Logger::threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(threshold())) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace emorphic

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal leveled logger. The benches print paper-style tables to stdout;
+// the logger carries diagnostics on stderr and can be silenced globally
+// (tests run with level = kError).
+
+#include <sstream>
+#include <string>
+
+namespace emorphic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel& threshold();
+  static void set_threshold(LogLevel level) { threshold() = level; }
+  static void log(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::log(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace emorphic

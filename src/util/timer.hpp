@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch used by the runner's time limits and by the
+// benchmark harnesses that reproduce the paper's runtime columns.
+
+#include <chrono>
+
+namespace emorphic {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction / last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace emorphic

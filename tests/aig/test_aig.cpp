@@ -1,0 +1,152 @@
+#include "aig/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "aig/sim.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Aig, LiteralHelpers) {
+  EXPECT_EQ(make_lit(3), 6u);
+  EXPECT_EQ(make_lit(3, true), 7u);
+  EXPECT_EQ(lit_var(7u), 3u);
+  EXPECT_TRUE(lit_is_compl(7u));
+  EXPECT_FALSE(lit_is_compl(6u));
+  EXPECT_EQ(lit_not(6u), 7u);
+  EXPECT_EQ(lit_regular(7u), 6u);
+  EXPECT_EQ(lit_notcond(6u, true), 7u);
+  EXPECT_EQ(lit_notcond(6u, false), 6u);
+}
+
+TEST(Aig, ConstantPropagation) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  EXPECT_EQ(aig.make_and(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(aig.make_and(kLitFalse, a), kLitFalse);
+  EXPECT_EQ(aig.make_and(a, kLitTrue), a);
+  EXPECT_EQ(aig.make_and(a, a), a);
+  EXPECT_EQ(aig.make_and(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit f1 = aig.make_and(a, b);
+  Lit f2 = aig.make_and(b, a);  // commuted operands hash identically
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(aig.num_ands(), 1u);
+  Lit f3 = aig.make_and(lit_not(a), b);
+  EXPECT_NE(f1, f3);
+  EXPECT_EQ(aig.num_ands(), 2u);
+}
+
+TEST(Aig, DerivedConnectivesAreCorrect) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit s = make_lit(aig.add_pi());
+  aig.add_po(aig.make_or(a, b));
+  aig.add_po(aig.make_xor(a, b));
+  aig.add_po(aig.make_mux(s, a, b));
+  aig.add_po(aig.make_maj(a, b, s));
+  // exhaustive over 3 inputs
+  EXPECT_EQ(exhaustive_tt(aig, 0) & tt_mask(2), (tt_var(0, 2) | tt_var(1, 2)));
+  EXPECT_EQ(exhaustive_tt(aig, 1) & tt_mask(2), (tt_var(0, 2) ^ tt_var(1, 2)));
+  Tt va = tt_var(0, 3), vb = tt_var(1, 3), vs = tt_var(2, 3);
+  EXPECT_EQ(exhaustive_tt(aig, 2), ((vs & va) | (~vs & vb)) & tt_mask(3));
+  EXPECT_EQ(exhaustive_tt(aig, 3), ((va & vb) | (va & vs) | (vb & vs)));
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit c = make_lit(aig.add_pi());
+  Lit ab = aig.make_and(a, b);
+  Lit abc = aig.make_and(ab, c);
+  aig.add_po(abc);
+  auto levels = aig.levels();
+  EXPECT_EQ(levels[lit_var(ab)], 1u);
+  EXPECT_EQ(levels[lit_var(abc)], 2u);
+  EXPECT_EQ(aig.num_levels(), 2u);
+}
+
+TEST(Aig, BalancedConjunctionIsLogDepth) {
+  Aig aig;
+  std::vector<Lit> lits;
+  for (int i = 0; i < 16; ++i) lits.push_back(make_lit(aig.add_pi()));
+  aig.add_po(aig.make_and_n(lits));
+  EXPECT_EQ(aig.num_levels(), 4u);
+  EXPECT_EQ(aig.num_ands(), 15u);
+}
+
+TEST(Aig, MakeAndNEmptyIsTrue) {
+  Aig aig;
+  EXPECT_EQ(aig.make_and_n({}), kLitTrue);
+  EXPECT_EQ(aig.make_or_n({}), kLitFalse);
+}
+
+TEST(Aig, FanoutCounts) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit ab = aig.make_and(a, b);
+  Lit f = aig.make_and(ab, lit_not(a));
+  aig.add_po(f);
+  aig.add_po(ab);
+  auto fanout = aig.fanout_counts();
+  EXPECT_EQ(fanout[lit_var(a)], 2u);   // ab and f
+  EXPECT_EQ(fanout[lit_var(ab)], 2u);  // f and PO
+  EXPECT_EQ(fanout[lit_var(f)], 1u);   // PO
+}
+
+TEST(Aig, CleanupDropsDeadNodes) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit used = aig.make_and(a, b);
+  aig.make_and(lit_not(a), lit_not(b));  // dead
+  aig.add_po(used);
+  EXPECT_EQ(aig.num_ands(), 2u);
+  Aig cleaned = aig.cleanup();
+  EXPECT_EQ(cleaned.num_ands(), 1u);
+  EXPECT_TRUE(testing::functionally_equal(aig, cleaned));
+}
+
+TEST(Aig, CleanupPreservesFunctionRandom) {
+  Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    Aig aig = testing::random_aig(6, 4, 60, rng);
+    Aig cleaned = aig.cleanup();
+    EXPECT_TRUE(testing::functionally_equal(aig, cleaned));
+    EXPECT_LE(cleaned.num_ands(), aig.num_ands());
+  }
+}
+
+TEST(Aig, NamesPreserved) {
+  Aig aig;
+  aig.add_pi("alpha");
+  aig.add_po(kLitTrue, "omega");
+  EXPECT_EQ(aig.pi_name(0), "alpha");
+  EXPECT_EQ(aig.po_name(0), "omega");
+  Aig like = Aig::like(aig);
+  EXPECT_EQ(like.pi_name(0), "alpha");
+  EXPECT_EQ(like.po_name(0), "omega");
+}
+
+TEST(Aig, ConstantPoSurvivesCleanup) {
+  Aig aig;
+  aig.add_pi();
+  aig.add_po(kLitTrue, "one");
+  aig.add_po(kLitFalse, "zero");
+  Aig cleaned = aig.cleanup();
+  EXPECT_EQ(cleaned.po(0), kLitTrue);
+  EXPECT_EQ(cleaned.po(1), kLitFalse);
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,89 @@
+#include "aig/aig_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(AigIo, EquationRoundTrip) {
+  Rng rng(21);
+  for (int round = 0; round < 8; ++round) {
+    Aig aig = testing::random_aig(6, 4, 50, rng);
+    std::string text = write_equations(aig);
+    Aig back = read_equations(text);
+    EXPECT_EQ(back.num_pis(), aig.num_pis());
+    EXPECT_EQ(back.num_pos(), aig.num_pos());
+    EXPECT_TRUE(testing::functionally_equal(aig, back));
+  }
+}
+
+TEST(AigIo, EquationParserOperators) {
+  const std::string text =
+      "INORDER = a b c;\n"
+      "OUTORDER = f g h;\n"
+      "f = a & b | !c;\n"
+      "g = (a | b) & (a ^ c);\n"
+      "h = 1 & a | 0;\n";
+  Aig aig = read_equations(text);
+  EXPECT_EQ(aig.num_pis(), 3u);
+  EXPECT_EQ(aig.num_pos(), 3u);
+  Tt a = tt_var(0, 3), b = tt_var(1, 3), c = tt_var(2, 3);
+  EXPECT_EQ(exhaustive_tt(aig, 0), ((a & b) | (~c & tt_mask(3))) & tt_mask(3));
+  EXPECT_EQ(exhaustive_tt(aig, 1), ((a | b) & (a ^ c)) & tt_mask(3));
+  EXPECT_EQ(exhaustive_tt(aig, 2), a);
+}
+
+TEST(AigIo, EquationParserComments) {
+  const std::string text =
+      "# a comment\nINORDER = x;\nOUTORDER = y;\n# more\ny = !x;\n";
+  Aig aig = read_equations(text);
+  EXPECT_EQ(exhaustive_tt(aig, 0), tt_not(tt_var(0, 1), 1));
+}
+
+TEST(AigIo, EquationErrors) {
+  EXPECT_THROW(read_equations("INORDER = a;\nOUTORDER = f;\nf = b;\n"),
+               std::runtime_error);  // undefined signal
+  EXPECT_THROW(read_equations("INORDER = a;\nOUTORDER = f;\n"),
+               std::runtime_error);  // undefined output
+  EXPECT_THROW(read_equations("INORDER = a\n"), std::runtime_error);
+}
+
+TEST(AigIo, AigerRoundTrip) {
+  Rng rng(23);
+  for (int round = 0; round < 8; ++round) {
+    Aig aig = testing::random_aig(5, 3, 40, rng);
+    std::string text = write_aiger(aig);
+    Aig back = read_aiger(text);
+    EXPECT_EQ(back.num_pis(), aig.num_pis());
+    EXPECT_EQ(back.num_pos(), aig.num_pos());
+    EXPECT_TRUE(testing::functionally_equal(aig, back));
+  }
+}
+
+TEST(AigIo, AigerHeaderValidation) {
+  EXPECT_THROW(read_aiger("aig 1 1 0 0 0\n"), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 2 1 1 0 0\n2\n"), std::runtime_error);  // latch
+}
+
+TEST(AigIo, AigerConstantOutputs) {
+  Aig aig;
+  aig.add_pi();
+  aig.add_po(kLitTrue, "t");
+  aig.add_po(kLitFalse, "f");
+  Aig back = read_aiger(write_aiger(aig));
+  EXPECT_EQ(back.po(0), kLitTrue);
+  EXPECT_EQ(back.po(1), kLitFalse);
+}
+
+TEST(AigIo, EquationConstantOutputs) {
+  Aig aig;
+  aig.add_pi("a");
+  aig.add_po(kLitTrue, "t");
+  Aig back = read_equations(write_equations(aig));
+  EXPECT_EQ(back.po(0), kLitTrue);
+}
+
+}  // namespace
+}  // namespace emorphic

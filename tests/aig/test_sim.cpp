@@ -1,0 +1,77 @@
+#include "aig/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Sim, AndOfWords) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit f = aig.make_and(a, lit_not(b));
+  aig.add_po(f);
+  auto value = simulate_words(aig, {0b1100, 0b1010});
+  EXPECT_EQ(value[lit_var(f)], 0b0100ull);
+}
+
+TEST(Sim, ExhaustiveTtMatchesConstruction) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit c = make_lit(aig.add_pi());
+  aig.add_po(aig.make_or(aig.make_and(a, b), lit_not(c)));
+  Tt expect = ((tt_var(0, 3) & tt_var(1, 3)) | tt_not(tt_var(2, 3), 3)) &
+              tt_mask(3);
+  EXPECT_EQ(exhaustive_tt(aig, 0), expect);
+}
+
+TEST(Sim, EqualCircuitsCompareEqual) {
+  Rng rng(3);
+  Aig aig = testing::random_aig(5, 3, 30, rng);
+  Rng check(99);
+  EXPECT_TRUE(sim_probably_equal(aig, aig, check));
+  EXPECT_TRUE(sim_probably_equal(aig, aig.cleanup(), check));
+}
+
+TEST(Sim, DifferentCircuitsCompareUnequal) {
+  Aig a;
+  Lit x = make_lit(a.add_pi());
+  Lit y = make_lit(a.add_pi());
+  a.add_po(a.make_and(x, y));
+  Aig b;
+  Lit u = make_lit(b.add_pi());
+  Lit v = make_lit(b.add_pi());
+  b.add_po(b.make_or(u, v));
+  Rng rng(4);
+  EXPECT_FALSE(sim_probably_equal(a, b, rng));
+}
+
+TEST(Sim, InterfaceMismatchIsUnequal) {
+  Aig a;
+  a.add_pi();
+  a.add_po(kLitTrue);
+  Aig b;
+  b.add_pi();
+  b.add_pi();
+  b.add_po(kLitTrue);
+  Rng rng(5);
+  EXPECT_FALSE(sim_probably_equal(a, b, rng));
+}
+
+TEST(Sim, PoSignatureComplementHandling) {
+  Aig a;
+  Lit x = make_lit(a.add_pi());
+  a.add_po(x);
+  a.add_po(lit_not(x));
+  Rng rng(6);
+  auto sig = po_signature(a, rng, 4);
+  for (unsigned w = 0; w < 4; ++w) {
+    EXPECT_EQ(sig[0 * 4 + w], ~sig[1 * 4 + w]);
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

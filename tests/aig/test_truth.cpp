@@ -1,0 +1,151 @@
+#include "aig/truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Truth, MasksAndVars) {
+  EXPECT_EQ(tt_mask(0), 1ull);
+  EXPECT_EQ(tt_mask(1), 3ull);
+  EXPECT_EQ(tt_mask(2), 0xfull);
+  EXPECT_EQ(tt_mask(6), ~0ull);
+  EXPECT_EQ(tt_var(0, 2), 0xaull);
+  EXPECT_EQ(tt_var(1, 2), 0xcull);
+}
+
+TEST(Truth, CofactorsAndDependence) {
+  unsigned n = 3;
+  Tt f = tt_var(0, n) & tt_var(1, n);  // a & b
+  EXPECT_TRUE(tt_depends_on(f, 0, n));
+  EXPECT_TRUE(tt_depends_on(f, 1, n));
+  EXPECT_FALSE(tt_depends_on(f, 2, n));
+  EXPECT_EQ(tt_cofactor1(f, 0, n), tt_var(1, n));
+  EXPECT_EQ(tt_cofactor0(f, 0, n), 0ull);
+}
+
+TEST(Truth, CountOnes) {
+  EXPECT_EQ(tt_count_ones(tt_var(0, 3), 3), 4u);
+  EXPECT_EQ(tt_count_ones(tt_mask(3), 3), 8u);
+  EXPECT_EQ(tt_count_ones(0, 3), 0u);
+}
+
+TEST(Truth, ExpandPreservesFunction) {
+  // f(a, b) = a & !b over 2 vars, re-expressed over 4 vars at slots 1, 3.
+  Tt f = tt_var(0, 2) & tt_not(tt_var(1, 2), 2);
+  std::array<std::uint8_t, 6> pos{{1, 3, 0, 0, 0, 0}};
+  Tt g = tt_expand(f, 2, 4, pos);
+  EXPECT_EQ(g, tt_var(1, 4) & tt_not(tt_var(3, 4), 4));
+}
+
+TEST(Truth, ToString) {
+  EXPECT_EQ(tt_to_string(0x8ull, 2), "1000");
+  EXPECT_EQ(tt_to_string(tt_var(0, 1), 1), "10");
+}
+
+TEST(Npn, IdentityTransform) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Tt t = rng.next() & tt_mask(4);
+    EXPECT_EQ(npn_apply(t, NpnTransform::identity()), t);
+  }
+}
+
+TEST(Npn, InverseRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Tt t = rng.next() & tt_mask(4);
+    NpnTransform tr;
+    tr.perm = {1, 3, 0, 2};
+    tr.input_phase = static_cast<std::uint8_t>(rng.next_below(16));
+    tr.output_phase = rng.chance(0.5);
+    Tt applied = npn_apply(t, tr);
+    EXPECT_EQ(npn_apply(applied, npn_inverse(tr)), t);
+  }
+}
+
+TEST(Npn, ComposeMatchesSequentialApplication) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Tt t = rng.next() & tt_mask(4);
+    NpnTransform t1, t2;
+    t1.perm = {2, 0, 3, 1};
+    t1.input_phase = static_cast<std::uint8_t>(rng.next_below(16));
+    t1.output_phase = rng.chance(0.5);
+    t2.perm = {3, 1, 0, 2};
+    t2.input_phase = static_cast<std::uint8_t>(rng.next_below(16));
+    t2.output_phase = rng.chance(0.5);
+    Tt sequential = npn_apply(npn_apply(t, t1), t2);
+    Tt composed = npn_apply(t, npn_compose(t2, t1));
+    EXPECT_EQ(sequential, composed);
+  }
+}
+
+TEST(Npn, CanonReconstruction) {
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Tt t = rng.next() & tt_mask(4);
+    NpnTransform tr;
+    Tt canon = npn_canon(t, &tr);
+    EXPECT_EQ(npn_apply(t, tr), canon);
+  }
+}
+
+TEST(Npn, NpnEquivalentFunctionsShareCanon) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    Tt t = rng.next() & tt_mask(4);
+    NpnTransform tr;
+    tr.perm = {3, 2, 1, 0};
+    tr.input_phase = static_cast<std::uint8_t>(rng.next_below(16));
+    tr.output_phase = rng.chance(0.5);
+    Tt other = npn_apply(t, tr);
+    EXPECT_EQ(npn_canon(t), npn_canon(other));
+  }
+}
+
+TEST(Npn, TwoInputNpnClasses) {
+  // All non-degenerate 2-input functions fall into two NPN classes:
+  // AND-like and XOR-like.
+  Tt a = tt_var(0, 4), b = tt_var(1, 4);
+  Tt and2 = a & b;
+  Tt nand2 = ~(a & b) & tt_mask(4);
+  Tt nor2 = ~(a | b) & tt_mask(4);
+  Tt andn = a & ~b;
+  EXPECT_EQ(npn_canon(and2), npn_canon(nand2));
+  EXPECT_EQ(npn_canon(and2), npn_canon(nor2));
+  EXPECT_EQ(npn_canon(and2), npn_canon(andn & tt_mask(4)));
+  Tt xor2 = (a ^ b) & tt_mask(4);
+  Tt xnor2 = ~(a ^ b) & tt_mask(4);
+  EXPECT_EQ(npn_canon(xor2), npn_canon(xnor2));
+  EXPECT_NE(npn_canon(and2), npn_canon(xor2));
+}
+
+// Parameterized sweep: canon is a true invariant for every single-swap
+// permutation applied to a set of structured functions.
+class NpnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NpnSweep, CanonInvariantUnderRandomTransforms) {
+  Rng rng(1000 + GetParam());
+  Tt t = rng.next() & tt_mask(4);
+  Tt canon = npn_canon(t);
+  for (int k = 0; k < 24; ++k) {
+    NpnTransform tr;
+    // random permutation via Fisher-Yates
+    std::array<std::uint8_t, 4> perm{{0, 1, 2, 3}};
+    for (int i = 3; i > 0; --i) {
+      std::swap(perm[i], perm[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+    }
+    tr.perm = perm;
+    tr.input_phase = static_cast<std::uint8_t>(rng.next_below(16));
+    tr.output_phase = rng.chance(0.5);
+    EXPECT_EQ(npn_canon(npn_apply(t, tr)), canon);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFunctions, NpnSweep, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace emorphic

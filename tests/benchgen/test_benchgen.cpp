@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "benchgen/arith.hpp"
+#include "benchgen/control.hpp"
+#include "benchgen/epfl.hpp"
+
+namespace emorphic {
+namespace {
+
+/// Evaluate a word under an input assignment via simulation.
+std::uint64_t eval_word(const Aig& aig, const std::vector<std::uint64_t>& pis,
+                        unsigned out_start, unsigned out_bits, unsigned bit) {
+  auto value = simulate_words(aig, pis);
+  std::uint64_t result = 0;
+  for (unsigned i = 0; i < out_bits; ++i) {
+    Lit po = aig.po(out_start + i);
+    std::uint64_t w = value[lit_var(po)];
+    if (lit_is_compl(po)) w = ~w;
+    result |= ((w >> bit) & 1ull) << i;
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> word_inputs(std::uint64_t a, unsigned abits,
+                                       std::uint64_t b, unsigned bbits) {
+  std::vector<std::uint64_t> pis;
+  for (unsigned i = 0; i < abits; ++i) {
+    pis.push_back(((a >> i) & 1ull) ? ~0ull : 0ull);
+  }
+  for (unsigned i = 0; i < bbits; ++i) {
+    pis.push_back(((b >> i) & 1ull) ? ~0ull : 0ull);
+  }
+  return pis;
+}
+
+TEST(BenchGen, AdderAddsCorrectly) {
+  Aig adder = make_adder(8);
+  Rng rng(201);
+  for (int round = 0; round < 30; ++round) {
+    std::uint64_t a = rng.next_below(256), b = rng.next_below(256);
+    auto pis = word_inputs(a, 8, b, 8);
+    std::uint64_t sum = eval_word(adder, pis, 0, 8, 0);
+    std::uint64_t cout = eval_word(adder, pis, 8, 1, 0);
+    EXPECT_EQ(sum | (cout << 8), a + b);
+  }
+}
+
+TEST(BenchGen, MultiplierMultiplies) {
+  Aig mult = make_multiplier(6);
+  Rng rng(202);
+  for (int round = 0; round < 30; ++round) {
+    std::uint64_t a = rng.next_below(64), b = rng.next_below(64);
+    auto pis = word_inputs(a, 6, b, 6);
+    EXPECT_EQ(eval_word(mult, pis, 0, 12, 0), a * b);
+  }
+}
+
+TEST(BenchGen, SquareSquares) {
+  Aig square = make_square(6);
+  Rng rng(203);
+  for (int round = 0; round < 20; ++round) {
+    std::uint64_t x = rng.next_below(64);
+    auto pis = word_inputs(x, 6, 0, 0);
+    EXPECT_EQ(eval_word(square, pis, 0, 12, 0), x * x);
+  }
+}
+
+TEST(BenchGen, DividerDivides) {
+  Aig div = make_divisor(8);
+  Rng rng(204);
+  for (int round = 0; round < 40; ++round) {
+    std::uint64_t a = rng.next_below(256);
+    std::uint64_t b = 1 + rng.next_below(255);
+    auto pis = word_inputs(a, 8, b, 8);
+    EXPECT_EQ(eval_word(div, pis, 0, 8, 0), a / b) << a << "/" << b;
+    EXPECT_EQ(eval_word(div, pis, 8, 8, 0), a % b) << a << "%" << b;
+  }
+}
+
+TEST(BenchGen, SqrtIsIntegerSquareRoot) {
+  Aig sqrt_c = make_sqrt(8);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    auto pis = word_inputs(x, 8, 0, 0);
+    std::uint64_t root = eval_word(sqrt_c, pis, 0, 4, 0);
+    EXPECT_LE(root * root, x);
+    EXPECT_GT((root + 1) * (root + 1), x);
+    // remainder = x - root^2
+    EXPECT_EQ(eval_word(sqrt_c, pis, 4, 8, 0), x - root * root);
+  }
+}
+
+TEST(BenchGen, Log2IntegerPartIsMsbIndex) {
+  Aig log_c = make_log2(8);
+  for (std::uint64_t x = 1; x < 256; ++x) {
+    auto pis = word_inputs(x, 8, 0, 0);
+    std::uint64_t ip = eval_word(log_c, pis, 0, 3, 0);
+    unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(x));
+    EXPECT_EQ(ip, msb) << "x=" << x;
+  }
+}
+
+TEST(BenchGen, SinIsMonotoneNearZeroAndBounded) {
+  // The polynomial x - x^3/6-ish must stay <= x and be 0 at 0.
+  Aig sin_c = make_sin(8);
+  auto pis0 = word_inputs(0, 8, 0, 0);
+  EXPECT_EQ(eval_word(sin_c, pis0, 0, 8, 0), 0u);
+  Rng rng(206);
+  for (int round = 0; round < 20; ++round) {
+    std::uint64_t x = rng.next_below(256);
+    auto pis = word_inputs(x, 8, 0, 0);
+    EXPECT_LE(eval_word(sin_c, pis, 0, 8, 0), x);
+  }
+}
+
+TEST(BenchGen, HypIsEuclideanNorm) {
+  Aig hyp = make_hyp(6);
+  Rng rng(207);
+  for (int round = 0; round < 25; ++round) {
+    std::uint64_t a = rng.next_below(64), b = rng.next_below(64);
+    auto pis = word_inputs(a, 6, b, 6);
+    std::uint64_t out = eval_word(hyp, pis, 0, 7, 0);
+    std::uint64_t sum = a * a + b * b;
+    EXPECT_LE(out * out, sum);
+    EXPECT_GT((out + 1) * (out + 1), sum);
+  }
+}
+
+TEST(BenchGen, ArbiterGrantsAtMostOne) {
+  Aig arb = make_arbiter(8);
+  Rng rng(208);
+  std::vector<std::uint64_t> pis(16);
+  for (int round = 0; round < 20; ++round) {
+    std::uint64_t reqs = rng.next_below(256);
+    std::uint64_t ptr_pos = rng.next_below(8);
+    for (unsigned i = 0; i < 8; ++i) {
+      pis[i] = ((reqs >> i) & 1ull) ? ~0ull : 0ull;
+      pis[8 + i] = (i == ptr_pos) ? ~0ull : 0ull;
+    }
+    auto value = simulate_words(arb, pis);
+    unsigned grants = 0;
+    std::uint64_t granted_index = 9;
+    for (unsigned i = 0; i < 8; ++i) {
+      Lit po = arb.po(i);
+      std::uint64_t w = value[lit_var(po)];
+      if (lit_is_compl(po)) w = ~w;
+      if (w & 1ull) {
+        ++grants;
+        granted_index = i;
+      }
+    }
+    if (reqs == 0) {
+      EXPECT_EQ(grants, 0u);
+    } else {
+      ASSERT_EQ(grants, 1u);
+      // Round-robin: granted client is the first requester at/after ptr.
+      for (unsigned k = 0; k < 8; ++k) {
+        unsigned i = (static_cast<unsigned>(ptr_pos) + k) % 8;
+        if ((reqs >> i) & 1ull) {
+          EXPECT_EQ(granted_index, i);
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(BenchGen, MemCtrlGrantsRespectPriorityAndBusy) {
+  Aig mc = make_mem_ctrl({});
+  // All-zero inputs: no grants, no strobes asserted.
+  std::vector<std::uint64_t> pis(mc.num_pis(), 0);
+  auto value = simulate_words(mc, pis);
+  for (std::uint32_t i = 0; i < mc.num_pos(); ++i) {
+    if (mc.po_name(i).rfind("mgrant", 0) == 0) {
+      Lit po = mc.po(i);
+      std::uint64_t w = value[lit_var(po)];
+      if (lit_is_compl(po)) w = ~w;
+      EXPECT_EQ(w & 1ull, 0ull);
+    }
+  }
+}
+
+TEST(BenchGen, EpflRegistryProducesAllCircuits) {
+  for (const auto& spec : epfl_specs()) {
+    Aig aig = make_epfl(spec.name);
+    EXPECT_GT(aig.num_ands(), 0u) << spec.name;
+    EXPECT_GT(aig.num_pos(), 0u) << spec.name;
+  }
+  EXPECT_THROW(make_epfl("nonexistent"), std::invalid_argument);
+  EXPECT_EQ(epfl_names().size(), 10u);
+}
+
+TEST(BenchGen, SizeOrderRoughlyMatchesPaper) {
+  // hyp is the largest circuit and adder the smallest, as in Table III.
+  Aig hyp = make_epfl("hyp");
+  Aig adder = make_epfl("adder");
+  for (const auto& spec : epfl_specs()) {
+    Aig aig = make_epfl(spec.name);
+    EXPECT_LE(adder.num_ands(), aig.num_ands()) << spec.name;
+    EXPECT_GE(hyp.num_ands(), aig.num_ands()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

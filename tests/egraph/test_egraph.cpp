@@ -1,0 +1,143 @@
+#include "egraph/egraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emorphic {
+namespace {
+
+TEST(EGraph, HashConsingIsIdempotent) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId f1 = eg.add_and(a, b);
+  EClassId f2 = eg.add_and(a, b);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(eg.num_classes(), 3u);
+  EXPECT_EQ(eg.num_enodes(), 3u);
+}
+
+TEST(EGraph, CommutativeCanonicalOrder) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EXPECT_EQ(eg.add_and(a, b), eg.add_and(b, a));
+  EXPECT_EQ(eg.add_or(a, b), eg.add_or(b, a));
+  EXPECT_EQ(eg.add_xor(a, b), eg.add_xor(b, a));
+}
+
+TEST(EGraph, MergeUnionsClasses) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EXPECT_NE(eg.find(a), eg.find(b));
+  eg.merge(a, b);
+  eg.rebuild();
+  EXPECT_EQ(eg.find(a), eg.find(b));
+  EXPECT_EQ(eg.num_classes(), 1u);
+  EXPECT_EQ(eg.eclass(a).nodes.size(), 2u);
+}
+
+TEST(EGraph, CongruenceClosure) {
+  // If a == b then f(a) == f(b) after rebuild.
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId fa = eg.add_not(a);
+  EClassId fb = eg.add_not(b);
+  EXPECT_NE(eg.find(fa), eg.find(fb));
+  eg.merge(a, b);
+  eg.rebuild();
+  EXPECT_EQ(eg.find(fa), eg.find(fb));
+}
+
+TEST(EGraph, CongruencePropagatesUpward) {
+  // a == b  =>  g(f(a)) == g(f(b)) through two levels.
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId c = eg.add_var(2);
+  EClassId fa = eg.add_and(a, c);
+  EClassId fb = eg.add_and(b, c);
+  EClassId ga = eg.add_not(fa);
+  EClassId gb = eg.add_not(fb);
+  eg.merge(a, b);
+  eg.rebuild();
+  EXPECT_EQ(eg.find(ga), eg.find(gb));
+}
+
+TEST(EGraph, RebuildDeduplicatesNodes) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId c = eg.add_var(2);
+  EClassId ac = eg.add_and(a, c);
+  EClassId bc = eg.add_and(b, c);
+  eg.merge(a, b);  // now AND(a,c) and AND(b,c) are congruent duplicates
+  eg.rebuild();
+  EXPECT_EQ(eg.find(ac), eg.find(bc));
+  // The merged class keeps a single canonical AND node.
+  EXPECT_EQ(eg.eclass(ac).nodes.size(), 1u);
+}
+
+TEST(EGraph, LookupFindsCanonicalNodes) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId f = eg.add_and(a, b);
+  EXPECT_EQ(eg.lookup(ENode::and_of(a, b)), eg.find(f));
+  EXPECT_EQ(eg.lookup(ENode::and_of(b, a)), eg.find(f));  // sorted children
+  EXPECT_EQ(eg.lookup(ENode::or_of(a, b)), kNoEClass);
+}
+
+TEST(EGraph, SelfMergeIsNoOp) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EXPECT_EQ(eg.merge(a, a), eg.find(a));
+  EXPECT_FALSE(eg.is_dirty());
+}
+
+TEST(EGraph, ClassIdsAreCanonical) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  eg.add_and(a, b);
+  eg.merge(a, b);
+  eg.rebuild();
+  for (EClassId id : eg.class_ids()) {
+    EXPECT_EQ(eg.find(id), id);
+  }
+  EXPECT_EQ(eg.class_ids().size(), eg.num_classes());
+}
+
+TEST(EGraph, ChainOfMerges) {
+  EGraph eg;
+  std::vector<EClassId> vars;
+  for (std::uint32_t i = 0; i < 10; ++i) vars.push_back(eg.add_var(i));
+  for (std::uint32_t i = 1; i < 10; ++i) eg.merge(vars[0], vars[i]);
+  eg.rebuild();
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(eg.find(vars[0]), eg.find(vars[i]));
+  }
+  EXPECT_EQ(eg.num_classes(), 1u);
+  EXPECT_EQ(eg.num_enodes(), 10u);
+}
+
+TEST(EGraph, DeferredRebuildHandlesCascades) {
+  // Merging leaves triggers a cascade of congruences through a ladder.
+  EGraph eg;
+  EClassId x = eg.add_var(0);
+  EClassId y = eg.add_var(1);
+  std::vector<EClassId> lx{x}, ly{y};
+  for (int i = 0; i < 6; ++i) {
+    lx.push_back(eg.add_not(lx.back()));
+    ly.push_back(eg.add_not(ly.back()));
+  }
+  eg.merge(x, y);
+  eg.rebuild();
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    EXPECT_EQ(eg.find(lx[i]), eg.find(ly[i])) << "ladder level " << i;
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

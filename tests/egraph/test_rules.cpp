@@ -1,0 +1,85 @@
+#include "egraph/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace emorphic {
+namespace {
+
+/// Property: every rewrite rule is Boolean-sound — LHS and RHS patterns
+/// evaluate to the same truth table over their pattern variables.
+class RuleSoundness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RuleSoundness, LhsEqualsRhs) {
+  const std::vector<Rewrite>& rules = make_logic_rules();
+  const Rewrite& rw = rules[GetParam()];
+  unsigned n = std::max<unsigned>(1, rw.var_names.size());
+  ASSERT_LE(n, 6u);
+  Tt lhs = testing::eval_pattern(rw.lhs, n);
+  Tt rhs = testing::eval_pattern(rw.rhs, n);
+  EXPECT_EQ(lhs, rhs) << "unsound rule: " << rw.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, RuleSoundness,
+                         ::testing::Range<std::size_t>(
+                             0, make_logic_rules().size()),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           std::string name =
+                               make_logic_rules()[info.param].name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Rules, ReductionRulesAreSubsetAndSound) {
+  for (const Rewrite& rw : make_reduction_rules()) {
+    unsigned n = std::max<unsigned>(1, rw.var_names.size());
+    EXPECT_EQ(testing::eval_pattern(rw.lhs, n), testing::eval_pattern(rw.rhs, n))
+        << rw.name;
+  }
+}
+
+TEST(Rules, RuleClassesCoverTableOne) {
+  auto classes = make_rule_classes();
+  std::vector<std::string> names;
+  for (const auto& cls : classes) names.push_back(cls.class_name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "Associativity"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Distributivity"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Consensus"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "De-Morgan"), names.end());
+  std::size_t total = 0;
+  for (const auto& cls : classes) total += cls.rules.size();
+  EXPECT_EQ(total, make_logic_rules().size());
+}
+
+TEST(Rules, EveryRuleHasDistinctName) {
+  auto rules = make_logic_rules();
+  std::set<std::string> names;
+  for (const auto& rw : rules) {
+    EXPECT_TRUE(names.insert(rw.name).second) << "duplicate: " << rw.name;
+  }
+}
+
+TEST(Rules, RhsUsesOnlyLhsVariables) {
+  // Applying a rule must never require inventing a binding: every RHS
+  // pattern variable must occur in the LHS.
+  for (const Rewrite& rw : make_logic_rules()) {
+    std::vector<bool> in_lhs(rw.var_names.size(), false);
+    for (const auto& node : rw.lhs.nodes()) {
+      if (node.is_var) in_lhs[node.var] = true;
+    }
+    for (const auto& node : rw.rhs.nodes()) {
+      if (node.is_var) {
+        EXPECT_TRUE(in_lhs[node.var])
+            << rw.name << " RHS uses unbound " << rw.var_names[node.var];
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,123 @@
+#include "egraph/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "egraph/rules.hpp"
+#include "extract/extractor.hpp"
+#include "flow/conversion.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Runner, SaturatesTinyIdentity) {
+  // x & 1 -> x saturates in a couple of iterations.
+  EGraph eg;
+  EClassId x = eg.add_var(0);
+  EClassId one = eg.add_const1();
+  EClassId f = eg.add_and(x, one);
+  RunnerLimits limits;
+  limits.max_iterations = 10;
+  RunnerReport report = run_rewriting(eg, make_reduction_rules(), limits);
+  EXPECT_EQ(report.stop_reason, StopReason::kSaturated);
+  EXPECT_EQ(eg.find(f), eg.find(x));
+}
+
+TEST(Runner, DemorganDiscoversOrForm) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId nab = eg.add_not(eg.add_and(a, b));
+  RunnerLimits limits;
+  limits.max_iterations = 3;
+  run_rewriting(eg, make_logic_rules(), limits);
+  // !(a&b) must now be equivalent to !a | !b.
+  EClassId or_form = eg.add_or(eg.add_not(a), eg.add_not(b));
+  EXPECT_EQ(eg.find(nab), eg.find(or_form));
+}
+
+TEST(Runner, AbsorptionCollapses) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId f = eg.add_and(a, eg.add_or(a, b));  // == a
+  RunnerLimits limits;
+  limits.max_iterations = 4;
+  run_rewriting(eg, make_logic_rules(), limits);
+  EXPECT_EQ(eg.find(f), eg.find(a));
+}
+
+TEST(Runner, NodeLimitStops) {
+  Rng rng(31);
+  Aig aig = testing::random_aig(6, 3, 60, rng);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerLimits limits;
+  limits.max_iterations = 50;
+  limits.max_enodes = 500;
+  RunnerReport report = run_rewriting(ce.egraph, make_logic_rules(), limits);
+  EXPECT_EQ(report.stop_reason, StopReason::kNodeLimit);
+}
+
+TEST(Runner, IterationLimitRespected) {
+  Rng rng(32);
+  Aig aig = testing::random_aig(6, 3, 40, rng);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerLimits limits;
+  limits.max_iterations = 2;
+  limits.max_enodes = 1u << 20;
+  RunnerReport report = run_rewriting(ce.egraph, make_logic_rules(), limits);
+  EXPECT_LE(report.iterations.size(), 2u);
+}
+
+TEST(Runner, RewritingPreservesFunction) {
+  // The key soundness property end-to-end: rewrite, extract greedily, and
+  // compare against the original circuit by simulation.
+  Rng rng(33);
+  for (int round = 0; round < 5; ++round) {
+    Aig aig = testing::random_aig(5, 3, 35, rng);
+    CircuitEGraph ce = aig_to_egraph(aig);
+    RunnerLimits limits;
+    limits.max_iterations = 4;
+    limits.max_enodes = 20000;
+    run_rewriting(ce.egraph, make_logic_rules(), limits);
+    Aig out = egraph_to_aig_greedy(ce);
+    EXPECT_TRUE(testing::functionally_equal(aig, out)) << "round " << round;
+  }
+}
+
+TEST(Runner, GrowsEquivalenceClasses) {
+  // Insight 1 of the paper: a few iterations multiply the stored choices.
+  Rng rng(34);
+  Aig aig = testing::random_aig(6, 3, 50, rng);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  std::size_t before = ce.egraph.num_enodes();
+  RunnerLimits limits;
+  limits.max_iterations = 3;
+  limits.max_enodes = 50000;
+  run_rewriting(ce.egraph, make_logic_rules(), limits);
+  EXPECT_GT(ce.egraph.num_enodes(), before * 2);
+}
+
+TEST(Runner, ReportsPerRuleCounts) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  eg.add_and(a, eg.add_const1());
+  auto rules = make_reduction_rules();
+  RunnerLimits limits;
+  limits.max_iterations = 2;
+  RunnerReport report = run_rewriting(eg, rules, limits);
+  ASSERT_EQ(report.rule_matches.size(), rules.size());
+  std::size_t total = 0;
+  for (auto c : report.rule_matches) total += c;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Runner, StopReasonNames) {
+  EXPECT_STREQ(stop_reason_name(StopReason::kSaturated), "saturated");
+  EXPECT_STREQ(stop_reason_name(StopReason::kIterLimit), "iteration-limit");
+  EXPECT_STREQ(stop_reason_name(StopReason::kNodeLimit), "node-limit");
+  EXPECT_STREQ(stop_reason_name(StopReason::kTimeLimit), "time-limit");
+}
+
+}  // namespace
+}  // namespace emorphic

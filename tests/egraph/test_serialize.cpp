@@ -1,0 +1,106 @@
+#include "egraph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "egraph/rules.hpp"
+#include "egraph/runner.hpp"
+#include "flow/conversion.hpp"
+#include "util/json.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Serialize, Figure7ShapeIsPresent) {
+  // The Fig. 7 document maps class ids to {id, nodes, parents}.
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId f = eg.add_and(a, b);
+  std::string text =
+      egraph_to_dsl(eg, {SerializedRoot{f, false, "f"}}, {"a", "b"});
+  Json doc = Json::parse(text);
+  ASSERT_TRUE(doc.contains("egraph"));
+  const JsonObject& classes = doc.at("egraph").as_object();
+  EXPECT_EQ(classes.size(), 3u);
+  // Variable class for "a" lists its AND parent.
+  const Json& cls_a = doc.at("egraph").at(std::to_string(a));
+  EXPECT_EQ(cls_a.at("nodes").as_array()[0].at("Symbol").as_string(), "a");
+  EXPECT_EQ(cls_a.at("parents").as_array().size(), 1u);
+}
+
+TEST(Serialize, RoundTripPlainGraph) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId f = eg.add_or(eg.add_not(a), eg.add_and(a, b));
+  std::string text =
+      egraph_to_dsl(eg, {SerializedRoot{f, true, "out"}}, {"a", "b"});
+  DeserializedEGraph back = dsl_to_egraph(text);
+  EXPECT_EQ(back.egraph.num_classes(), eg.num_classes());
+  EXPECT_EQ(back.egraph.num_enodes(), eg.num_enodes());
+  ASSERT_EQ(back.roots.size(), 1u);
+  EXPECT_TRUE(back.roots[0].complemented);
+  EXPECT_EQ(back.roots[0].name, "out");
+  EXPECT_EQ(back.var_names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Serialize, RoundTripPreservesCircuitFunction) {
+  Rng rng(41);
+  for (int round = 0; round < 5; ++round) {
+    Aig aig = testing::random_aig(5, 3, 30, rng);
+    CircuitEGraph ce = aig_to_egraph(aig);
+    CircuitEGraph back = dsl_to_circuit_egraph(ce.to_dsl());
+    Aig out = egraph_to_aig_greedy(back);
+    EXPECT_TRUE(testing::functionally_equal(aig, out));
+  }
+}
+
+TEST(Serialize, RoundTripMergedClasses) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId ab = eg.add_and(a, b);
+  EClassId ba = eg.add_or(a, b);
+  eg.merge(ab, ba);  // artificial, but exercises multi-node classes
+  eg.rebuild();
+  std::string text =
+      egraph_to_dsl(eg, {SerializedRoot{ab, false, "f"}}, {"a", "b"});
+  DeserializedEGraph back = dsl_to_egraph(text);
+  EXPECT_EQ(back.egraph.num_enodes(), eg.num_enodes());
+  EXPECT_EQ(back.egraph.num_classes(), eg.num_classes());
+  // The root class still has both forms.
+  EXPECT_EQ(back.egraph.eclass(back.roots[0].id).nodes.size(), 2u);
+}
+
+TEST(Serialize, RewrittenGraphRoundTrips) {
+  // After rewriting, classes hold many nodes and may be cyclic; the DSL
+  // keeps at least one acyclic representative per class.
+  Rng rng(43);
+  Aig aig = testing::random_aig(4, 2, 20, rng);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerLimits limits;
+  limits.max_iterations = 3;
+  limits.max_enodes = 5000;
+  run_rewriting(ce.egraph, make_logic_rules(), limits);
+  CircuitEGraph back = dsl_to_circuit_egraph(ce.to_dsl());
+  Aig out = egraph_to_aig_greedy(back);
+  EXPECT_TRUE(testing::functionally_equal(aig, out));
+}
+
+TEST(Serialize, RejectsUnknownSymbol) {
+  const std::string text =
+      R"({"egraph":{"0":{"id":0,"nodes":[{"Symbol":"zz"}],"parents":[]}},)"
+      R"("roots":[],"inputs":["a"]})";
+  EXPECT_THROW(dsl_to_egraph(text), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownOperator) {
+  const std::string text =
+      R"({"egraph":{"0":{"id":0,"nodes":[{"NAND":[0,0]}],"parents":[]}},)"
+      R"("roots":[],"inputs":[]})";
+  EXPECT_THROW(dsl_to_egraph(text), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emorphic

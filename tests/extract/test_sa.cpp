@@ -1,0 +1,122 @@
+#include "extract/sa_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "egraph/rules.hpp"
+#include "egraph/runner.hpp"
+#include "flow/conversion.hpp"
+
+namespace emorphic {
+namespace {
+
+/// A deterministic, cheap stand-in QoR evaluator: proxy for the tests so SA
+/// runs fast. Cost = depth-like metric + small area term.
+class ProxyEvaluator : public QorEvaluator {
+ public:
+  Qor evaluate(const Aig& candidate) const override {
+    return Qor{static_cast<double>(candidate.num_ands()),
+               static_cast<double>(candidate.num_levels()) * 10.0};
+  }
+};
+
+struct SaFixture : public ::testing::Test {
+  void SetUp() override {
+    Rng rng(71);
+    original = testing::random_aig(6, 3, 40, rng);
+    ce = aig_to_egraph(original);
+    RunnerLimits limits;
+    limits.max_iterations = 3;
+    limits.max_enodes = 10000;
+    run_rewriting(ce.egraph, make_logic_rules(), limits);
+  }
+
+  Aig original;
+  CircuitEGraph ce;
+};
+
+TEST_F(SaFixture, ProducesFunctionallyEquivalentBest) {
+  ProxyEvaluator eval;
+  SaParams params;
+  params.num_threads = 2;
+  params.iterations = 2;
+  params.moves_per_iteration = 3;
+  SaResult result = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  Aig best = egraph_to_aig(ce, result.best);
+  EXPECT_TRUE(testing::functionally_equal(original, best));
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST_F(SaFixture, BestNeverWorseThanGreedyInit) {
+  // Thread 0 starts from greedy-depth; SA only replaces the incumbent on
+  // accept, and the best-tracker keeps the minimum, so the final cost is
+  // <= the greedy initial cost.
+  ProxyEvaluator eval;
+  Extraction greedy = greedy_extract(ce.egraph, CostModel{CostKind::kDepth});
+  Aig greedy_aig = egraph_to_aig(ce, greedy);
+  double greedy_cost = eval.cost(eval.evaluate(greedy_aig));
+
+  SaParams params;
+  params.num_threads = 1;  // thread 0 = greedy depth init
+  params.iterations = 3;
+  params.moves_per_iteration = 4;
+  SaResult result = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  EXPECT_LE(result.best_cost, greedy_cost + 1e-9);
+}
+
+TEST_F(SaFixture, DeterministicForFixedSeed) {
+  ProxyEvaluator eval;
+  SaParams params;
+  params.num_threads = 2;
+  params.iterations = 2;
+  params.moves_per_iteration = 3;
+  params.seed = 99;
+  SaResult r1 = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  SaResult r2 = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  EXPECT_DOUBLE_EQ(r1.best_cost, r2.best_cost);
+  EXPECT_DOUBLE_EQ(r1.best_qor.area, r2.best_qor.area);
+}
+
+TEST_F(SaFixture, TraceRecordsTemperatureSchedule) {
+  ProxyEvaluator eval;
+  SaParams params;
+  params.num_threads = 1;
+  params.iterations = 4;
+  params.moves_per_iteration = 2;
+  SaResult result = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  ASSERT_FALSE(result.trace.empty());
+  // Iteration 1 runs at T1 = 2000; later iterations never exceed it.
+  for (const SaTracePoint& pt : result.trace) {
+    if (pt.iteration == 1) {
+      EXPECT_DOUBLE_EQ(pt.temperature, params.initial_temperature);
+    } else {
+      EXPECT_LE(pt.temperature, params.initial_temperature);
+    }
+  }
+}
+
+TEST_F(SaFixture, MultiThreadBeatsOrMatchesSingleThreadGivenSameBudget) {
+  ProxyEvaluator eval;
+  SaParams one;
+  one.num_threads = 1;
+  one.iterations = 2;
+  one.moves_per_iteration = 3;
+  SaParams four = one;
+  four.num_threads = 4;
+  double c1 = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, one).best_cost;
+  double c4 = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, four).best_cost;
+  EXPECT_LE(c4, c1 + 1e-9);  // more chains can only improve the best
+}
+
+TEST_F(SaFixture, PruningStatsAccumulate) {
+  ProxyEvaluator eval;
+  SaParams params;
+  params.num_threads = 1;
+  params.iterations = 2;
+  params.moves_per_iteration = 2;
+  SaResult pruned = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  EXPECT_GT(pruned.extract_stats.enodes_visited, 0u);
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,71 @@
+#include "mapper/genlib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emorphic {
+namespace {
+
+TEST(Genlib, ParsesEmbeddedLibrary) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  EXPECT_GE(lib.size(), 20u);
+  std::int32_t inv = lib.find("INVx1");
+  ASSERT_GE(inv, 0);
+  EXPECT_EQ(lib.cell(inv).num_inputs, 1u);
+  EXPECT_EQ(lib.cell(inv).tt, tt_not(tt_var(0, 4), 4));
+  EXPECT_EQ(lib.inverter(), static_cast<std::uint32_t>(inv));
+}
+
+TEST(Genlib, GateFunctions) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  Tt a = tt_var(0, 4), b = tt_var(1, 4), c = tt_var(2, 4), d = tt_var(3, 4);
+  EXPECT_EQ(lib.cell(lib.find("NAND2x1")).tt, ~(a & b) & tt_mask(4));
+  EXPECT_EQ(lib.cell(lib.find("NOR2x1")).tt, ~(a | b) & tt_mask(4));
+  EXPECT_EQ(lib.cell(lib.find("XOR2x1")).tt, (a ^ b) & tt_mask(4));
+  EXPECT_EQ(lib.cell(lib.find("AOI21x1")).tt, ~((a & b) | c) & tt_mask(4));
+  EXPECT_EQ(lib.cell(lib.find("OAI22x1")).tt,
+            ~((a | b) & (c | d)) & tt_mask(4));
+  EXPECT_EQ(lib.cell(lib.find("MAJ3x1")).tt,
+            ((a & b) | (a & c) | (b & c)) & tt_mask(4));
+}
+
+TEST(Genlib, PinOrderFollowsExpression) {
+  CellLibrary lib = parse_genlib("GATE g 1.0 Y=(B*A)+C; PIN * 5\n");
+  const Cell& cell = lib.cell(0);
+  ASSERT_EQ(cell.num_inputs, 3u);
+  EXPECT_EQ(cell.input_names[0], "B");
+  EXPECT_EQ(cell.input_names[1], "A");
+  EXPECT_EQ(cell.input_names[2], "C");
+  EXPECT_DOUBLE_EQ(cell.delay, 5.0);
+  EXPECT_DOUBLE_EQ(cell.area, 1.0);
+}
+
+TEST(Genlib, ParsesConstGates) {
+  CellLibrary lib = parse_genlib(
+      "GATE tie0 0.1 Y=CONST0;\nGATE tie1 0.1 Y=CONST1;\n");
+  EXPECT_EQ(lib.cell(0).tt, 0ull);
+  EXPECT_EQ(lib.cell(1).tt, tt_mask(4));
+  EXPECT_EQ(lib.cell(0).num_inputs, 0u);
+}
+
+TEST(Genlib, PostfixComplement) {
+  CellLibrary lib = parse_genlib("GATE andn 1.0 Y=A*B'; PIN * 2\n");
+  Tt a = tt_var(0, 4), b = tt_var(1, 4);
+  EXPECT_EQ(lib.cell(0).tt, (a & ~b) & tt_mask(4));
+}
+
+TEST(Genlib, RejectsMalformedInput) {
+  EXPECT_THROW(parse_genlib("NOTAGATE x"), std::runtime_error);
+  EXPECT_THROW(parse_genlib("GATE g 1.0 Y=A*B"), std::runtime_error);  // no ';'
+  EXPECT_THROW(parse_genlib("GATE g 1.0 YAB;\n"), std::runtime_error); // no '='
+  EXPECT_THROW(parse_genlib("GATE g 1.0 Y=A*B*C*D*E;\n"), std::runtime_error);
+}
+
+TEST(Genlib, BufferLookup) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  std::int32_t buf = lib.buffer();
+  ASSERT_GE(buf, 0);
+  EXPECT_EQ(lib.cell(buf).tt, tt_var(0, 4));
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,130 @@
+#include "mapper/tech_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "benchgen/arith.hpp"
+#include "opt/balance.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Mapper, SingleAnd) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  aig.add_po(aig.make_and(a, b));
+  MappedNetlist netlist = map_to_cells(aig, CellLibrary::asap7_like());
+  EXPECT_GE(netlist.num_gates(), 1u);
+  EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig()));
+}
+
+TEST(Mapper, ComplementedOutput) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  aig.add_po(lit_not(aig.make_and(a, b)));  // NAND: one gate, no inverter
+  MappedNetlist netlist = map_to_cells(aig, CellLibrary::asap7_like());
+  EXPECT_EQ(netlist.num_gates(), 1u);
+  EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig()));
+}
+
+TEST(Mapper, PassThroughAndConstants) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  aig.add_po(a, "pass");
+  aig.add_po(lit_not(a), "neg");
+  aig.add_po(kLitTrue, "one");
+  aig.add_po(kLitFalse, "zero");
+  MappedNetlist netlist = map_to_cells(aig, CellLibrary::asap7_like());
+  EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig()));
+}
+
+TEST(Mapper, FunctionPreservedRandom) {
+  Rng rng(151);
+  for (int round = 0; round < 8; ++round) {
+    Aig aig = testing::random_aig(6, 4, 50, rng);
+    MappedNetlist netlist = map_to_cells(aig, CellLibrary::asap7_like());
+    EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig())) << round;
+    EXPECT_GT(netlist.area(), 0.0);
+    EXPECT_GT(netlist.delay(), 0.0);
+  }
+}
+
+TEST(Mapper, XorUsesXorCell) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  aig.add_po(aig.make_xor(a, b));
+  MappedNetlist netlist = map_to_cells(aig, CellLibrary::asap7_like());
+  bool has_xor = false;
+  for (const MappedGate& g : netlist.gates()) {
+    const std::string& name = netlist.library().cell(g.cell).name;
+    if (name == "XOR2x1" || name == "XNOR2x1") has_xor = true;
+  }
+  EXPECT_TRUE(has_xor);
+  EXPECT_LE(netlist.num_gates(), 2u);
+  EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig()));
+}
+
+TEST(Mapper, MajUsesMajCell) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit c = make_lit(aig.add_pi());
+  aig.add_po(aig.make_maj(a, b, c));
+  MappedNetlist netlist = map_to_cells(aig, CellLibrary::asap7_like());
+  EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig()));
+  EXPECT_LE(netlist.num_gates(), 2u);  // MAJ3 (+ possible inverter)
+}
+
+TEST(Mapper, AreaRecoveryDoesNotHurtDelay) {
+  Rng rng(152);
+  for (int round = 0; round < 5; ++round) {
+    Aig aig = testing::random_aig(8, 4, 120, rng);
+    MapperParams with;
+    with.area_recovery = true;
+    MapperParams without;
+    without.area_recovery = false;
+    MappedNetlist nw = map_to_cells(aig, CellLibrary::asap7_like(), with);
+    MappedNetlist nwo = map_to_cells(aig, CellLibrary::asap7_like(), without);
+    // Required times guarantee delay is never degraded; area recovery is a
+    // local area-flow heuristic, so allow a small tolerance on area.
+    EXPECT_LE(nw.delay(), nwo.delay() + 1e-9);
+    EXPECT_LE(nw.area(), nwo.area() * 1.10);
+    EXPECT_TRUE(testing::functionally_equal(aig, nw.to_aig()));
+  }
+}
+
+TEST(Mapper, AdderMapsCorrectly) {
+  Aig adder = make_adder(8);
+  MappedNetlist netlist = map_to_cells(adder, CellLibrary::asap7_like());
+  EXPECT_TRUE(testing::functionally_equal(adder, netlist.to_aig()));
+  // MAJ/XOR cells should make the mapped adder cheaper than 5 gates/bit.
+  EXPECT_LT(netlist.num_gates(), 8u * 6u);
+}
+
+TEST(Mapper, BalancedCircuitMapsFaster) {
+  // Depth reduction before mapping must not hurt mapped delay.
+  Aig aig;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 16; ++i) pis.push_back(make_lit(aig.add_pi()));
+  Lit acc = pis[0];
+  for (int i = 1; i < 16; ++i) acc = aig.make_and(acc, pis[i]);
+  aig.add_po(acc);
+  MappedQor chain = map_qor(aig, CellLibrary::asap7_like());
+  MappedQor tree = map_qor(balance(aig), CellLibrary::asap7_like());
+  EXPECT_LE(tree.delay, chain.delay);
+}
+
+TEST(Mapper, RejectsOversizeCuts) {
+  Aig aig;
+  aig.add_po(make_lit(aig.add_pi()));
+  MapperParams params;
+  params.cut_size = 5;
+  EXPECT_THROW(map_to_cells(aig, CellLibrary::asap7_like(), params),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emorphic

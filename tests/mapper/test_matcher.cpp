@@ -1,0 +1,127 @@
+#include "mapper/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace emorphic {
+namespace {
+
+/// Check a CellMatch really implements `tt`: evaluate the cell function on
+/// the permuted/complemented leaves.
+bool match_implements(const CellLibrary& lib, const CellMatch& m, Tt tt,
+                      unsigned num_leaves) {
+  const Cell& cell = lib.cell(m.cell);
+  Tt built = 0;
+  for (unsigned minterm = 0; minterm < (1u << num_leaves); ++minterm) {
+    unsigned cell_minterm = 0;
+    for (unsigned j = 0; j < cell.num_inputs; ++j) {
+      unsigned leaf_value = (minterm >> m.pin_leaf[j]) & 1u;
+      if ((m.pin_compl >> j) & 1u) leaf_value ^= 1u;
+      cell_minterm |= leaf_value << j;
+    }
+    unsigned value = (cell.tt >> cell_minterm) & 1u;
+    if (m.output_compl) value ^= 1u;
+    built |= static_cast<Tt>(value) << minterm;
+  }
+  return built == (tt & tt_mask(num_leaves));
+}
+
+TEST(Matcher, FindsDirectAnd) {
+  Matcher matcher(CellLibrary::asap7_like());
+  Tt and2 = tt_var(0, 4) & tt_var(1, 4);
+  const auto& matches = matcher.match(and2, 2);
+  ASSERT_FALSE(matches.empty());
+  for (const CellMatch& m : matches) {
+    EXPECT_TRUE(match_implements(matcher.library(), m, and2, 2));
+  }
+}
+
+TEST(Matcher, NandViaOutputPhase) {
+  Matcher matcher(CellLibrary::asap7_like());
+  Tt nand2 = ~(tt_var(0, 4) & tt_var(1, 4)) & tt_mask(4);
+  const auto& matches = matcher.match(nand2, 2);
+  ASSERT_FALSE(matches.empty());
+  bool direct_nand = false;
+  for (const CellMatch& m : matches) {
+    EXPECT_TRUE(match_implements(matcher.library(), m, nand2, 2));
+    if (matcher.library().cell(m.cell).name == "NAND2x1" && !m.output_compl) {
+      direct_nand = true;
+    }
+  }
+  EXPECT_TRUE(direct_nand);
+}
+
+TEST(Matcher, InputPhaseHandling) {
+  Matcher matcher(CellLibrary::asap7_like());
+  // a & !b has no dedicated cell: matches must use pin complement flags.
+  Tt andn = (tt_var(0, 4) & ~tt_var(1, 4)) & tt_mask(4);
+  const auto& matches = matcher.match(andn, 2);
+  ASSERT_FALSE(matches.empty());
+  for (const CellMatch& m : matches) {
+    EXPECT_TRUE(match_implements(matcher.library(), m, andn, 2));
+  }
+}
+
+TEST(Matcher, Mux3Leaves) {
+  Matcher matcher(CellLibrary::asap7_like());
+  Tt s = tt_var(0, 4), a = tt_var(1, 4), b = tt_var(2, 4);
+  Tt mux = ((s & a) | (~s & b)) & tt_mask(4);
+  const auto& matches = matcher.match(mux, 3);
+  ASSERT_FALSE(matches.empty());
+  bool found_mux_cell = false;
+  for (const CellMatch& m : matches) {
+    EXPECT_TRUE(match_implements(matcher.library(), m, mux, 3));
+    if (matcher.library().cell(m.cell).name == "MUX2x1") found_mux_cell = true;
+  }
+  EXPECT_TRUE(found_mux_cell);
+}
+
+TEST(Matcher, Aoi22FourLeaves) {
+  Matcher matcher(CellLibrary::asap7_like());
+  Tt a = tt_var(0, 4), b = tt_var(1, 4), c = tt_var(2, 4), d = tt_var(3, 4);
+  Tt aoi = ~((a & b) | (c & d)) & tt_mask(4);
+  const auto& matches = matcher.match(aoi, 4);
+  ASSERT_FALSE(matches.empty());
+  for (const CellMatch& m : matches) {
+    EXPECT_TRUE(match_implements(matcher.library(), m, aoi, 4));
+  }
+}
+
+TEST(Matcher, NoMatchForUncoveredFunction) {
+  // A function guaranteed outside the library: 4-input parity.
+  Matcher matcher(CellLibrary::asap7_like());
+  Tt parity =
+      (tt_var(0, 4) ^ tt_var(1, 4) ^ tt_var(2, 4) ^ tt_var(3, 4)) & tt_mask(4);
+  EXPECT_TRUE(matcher.match(parity, 4).empty());
+}
+
+TEST(Matcher, RandomPermutedGateFunctionsAlwaysMatch) {
+  Matcher matcher(CellLibrary::asap7_like());
+  const CellLibrary& lib = matcher.library();
+  Rng rng(141);
+  for (std::uint32_t cid = 0; cid < lib.size(); ++cid) {
+    const Cell& cell = lib.cell(cid);
+    if (cell.num_inputs < 2) continue;
+    // Apply a random NPN transform to the cell function; it must match.
+    NpnTransform tr;
+    std::array<std::uint8_t, 4> perm{{0, 1, 2, 3}};
+    for (int i = 3; i > 0; --i) {
+      std::swap(perm[i], perm[rng.next_below(static_cast<std::uint64_t>(i + 1))]);
+    }
+    tr.perm = perm;
+    tr.input_phase = static_cast<std::uint8_t>(rng.next_below(16));
+    tr.output_phase = rng.chance(0.5);
+    Tt transformed = npn_apply(cell.tt, tr);
+    // Transformed function may move support onto padding vars; evaluate
+    // with 4 leaves to stay safe.
+    const auto& matches = matcher.match(transformed, 4);
+    ASSERT_FALSE(matches.empty()) << cell.name;
+    for (const CellMatch& m : matches) {
+      EXPECT_TRUE(match_implements(lib, m, transformed, 4)) << cell.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,76 @@
+#include "mapper/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace emorphic {
+namespace {
+
+MappedNetlist tiny_netlist(const CellLibrary& lib) {
+  MappedNetlist netlist(&lib);
+  std::uint32_t a = netlist.add_net("a");
+  std::uint32_t b = netlist.add_net("b");
+  netlist.add_pi(a);
+  netlist.add_pi(b);
+  std::uint32_t n1 = netlist.add_net("n1");
+  netlist.add_gate(MappedGate{
+      static_cast<std::uint32_t>(lib.find("NAND2x1")), {a, b}, n1});
+  std::uint32_t n2 = netlist.add_net("n2");
+  netlist.add_gate(
+      MappedGate{static_cast<std::uint32_t>(lib.find("INVx1")), {n1}, n2});
+  netlist.add_po(n2, "f");
+  return netlist;
+}
+
+TEST(Netlist, AreaIsSumOfCells) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  MappedNetlist netlist = tiny_netlist(lib);
+  double expect = lib.cell(lib.find("NAND2x1")).area +
+                  lib.cell(lib.find("INVx1")).area;
+  EXPECT_DOUBLE_EQ(netlist.area(), expect);
+}
+
+TEST(Netlist, DelayIsCriticalPath) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  MappedNetlist netlist = tiny_netlist(lib);
+  double expect = lib.cell(lib.find("NAND2x1")).delay +
+                  lib.cell(lib.find("INVx1")).delay;
+  EXPECT_DOUBLE_EQ(netlist.delay(), expect);
+}
+
+TEST(Netlist, ToAigRecoversFunction) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  MappedNetlist netlist = tiny_netlist(lib);
+  Aig aig = netlist.to_aig();
+  ASSERT_EQ(aig.num_pis(), 2u);
+  ASSERT_EQ(aig.num_pos(), 1u);
+  // NAND then INV = AND.
+  EXPECT_EQ(exhaustive_tt(aig, 0), tt_var(0, 2) & tt_var(1, 2));
+}
+
+TEST(Netlist, BlifOutput) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  MappedNetlist netlist = tiny_netlist(lib);
+  std::string blif = netlist.to_blif("tiny");
+  EXPECT_NE(blif.find(".model tiny"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs a b"), std::string::npos);
+  EXPECT_NE(blif.find(".outputs f"), std::string::npos);
+  EXPECT_NE(blif.find(".gate NAND2x1 A=a B=b Y=n1"), std::string::npos);
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+}
+
+TEST(Netlist, ConstNets) {
+  const CellLibrary& lib = CellLibrary::asap7_like();
+  MappedNetlist netlist(&lib);
+  std::uint32_t c1 = netlist.add_net("const1");
+  netlist.set_const_net(c1, true);
+  netlist.add_po(c1, "f");
+  Aig aig = netlist.to_aig();
+  EXPECT_EQ(aig.po(0), kLitTrue);
+  std::string blif = netlist.to_blif("m");
+  EXPECT_NE(blif.find(".names const1\n1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "benchgen/arith.hpp"
+#include "ml/cost_model.hpp"
+#include "ml/dataset.hpp"
+#include "ml/features.hpp"
+#include "ml/mlp.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Features, FixedLengthAndFinite) {
+  Rng rng(181);
+  Aig aig = testing::random_aig(6, 3, 50, rng);
+  FeatureVector f = extract_features(aig);
+  for (unsigned i = 0; i < kNumFeatures; ++i) {
+    EXPECT_TRUE(std::isfinite(f[i])) << feature_name(i);
+  }
+  EXPECT_DOUBLE_EQ(f[kNumFeatures - 1], 1.0);  // bias
+}
+
+TEST(Features, SensitiveToSizeAndDepth) {
+  Aig small = make_adder(4);
+  Aig big = make_adder(32);
+  FeatureVector fs = extract_features(small);
+  FeatureVector fb = extract_features(big);
+  EXPECT_LT(fs[0], fb[0]);  // log size
+  EXPECT_LT(fs[3], fb[3]);  // log depth
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  // y = 3*x0 - 2*x1 + 1 — an MLP must fit this nearly exactly.
+  Rng rng(182);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    double x0 = rng.next_double() * 4.0 - 2.0;
+    double x1 = rng.next_double() * 4.0 - 2.0;
+    X.push_back({x0, x1});
+    y.push_back(3.0 * x0 - 2.0 * x1 + 1.0);
+  }
+  MlpParams params;
+  params.epochs = 300;
+  Mlp mlp(2, params);
+  double loss = mlp.train(X, y);
+  EXPECT_LT(loss, 0.01);
+  double pred = mlp.predict({1.0, 1.0});
+  EXPECT_NEAR(pred, 2.0, 0.3);
+}
+
+TEST(Mlp, LearnsMildNonlinearity) {
+  Rng rng(183);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    double x0 = rng.next_double() * 2.0 - 1.0;
+    double x1 = rng.next_double() * 2.0 - 1.0;
+    X.push_back({x0, x1});
+    y.push_back(x0 * x1 + 0.5 * x0);
+  }
+  MlpParams params;
+  params.epochs = 400;
+  params.hidden = 16;
+  Mlp mlp(2, params);
+  double loss = mlp.train(X, y);
+  EXPECT_LT(loss, 0.05);
+}
+
+TEST(Metrics, MapeBasics) {
+  EXPECT_DOUBLE_EQ(mape({110.0}, {100.0}), 10.0);
+  EXPECT_DOUBLE_EQ(mape({90.0, 110.0}, {100.0, 100.0}), 10.0);
+  EXPECT_DOUBLE_EQ(mape({5.0}, {5.0}), 0.0);
+}
+
+TEST(Metrics, KendallTauBasics) {
+  EXPECT_DOUBLE_EQ(kendall_tau({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(kendall_tau({1, 2, 3, 4}, {4, 3, 2, 1}), -1.0);
+  double mixed = kendall_tau({1, 2, 3, 4}, {1, 3, 2, 4});
+  EXPECT_GT(mixed, 0.0);
+  EXPECT_LT(mixed, 1.0);
+}
+
+TEST(Dataset, GeneratesLabelledVariants) {
+  Aig circuit = make_adder(8);
+  DatasetParams params;
+  params.variants_per_circuit = 8;
+  params.rewrite.max_iterations = 2;
+  params.rewrite.max_enodes = 4000;
+  Dataset data = generate_variants(circuit, CellLibrary::asap7_like(), params);
+  ASSERT_EQ(data.size(), 8u);
+  for (double d : data.delays) EXPECT_GT(d, 0.0);
+  for (double a : data.areas) EXPECT_GT(a, 0.0);
+  // Structural variants must genuinely differ in label.
+  double min_delay = *std::min_element(data.delays.begin(), data.delays.end());
+  double max_delay = *std::max_element(data.delays.begin(), data.delays.end());
+  EXPECT_GT(max_delay, min_delay);
+}
+
+TEST(Dataset, SplitPartitionsCompletely) {
+  Dataset all;
+  for (int i = 0; i < 10; ++i) {
+    all.features.push_back(FeatureVector{});
+    all.delays.push_back(i);
+    all.areas.push_back(i);
+  }
+  Dataset train, test;
+  split_dataset(all, 5, &train, &test);
+  EXPECT_EQ(train.size(), 8u);
+  EXPECT_EQ(test.size(), 2u);
+}
+
+TEST(MlCostModel, TrainsAndRanksVariants) {
+  Aig circuit = make_multiplier(6);
+  DatasetParams params;
+  params.variants_per_circuit = 30;
+  params.rewrite.max_iterations = 2;
+  params.rewrite.max_enodes = 8000;
+  Dataset data = generate_variants(circuit, CellLibrary::asap7_like(), params);
+
+  MlpParams mp;
+  mp.epochs = 150;
+  MlCostModel model(mp);
+  model.train(data.features, data.delays, data.areas);
+  ASSERT_TRUE(model.trained());
+
+  std::vector<double> predictions;
+  for (const auto& f : data.features) {
+    predictions.push_back(model.predict_delay(f));
+  }
+  // On its own training data the model must rank far better than chance.
+  EXPECT_GT(kendall_tau(predictions, data.delays), 0.3);
+}
+
+TEST(MlCostModel, EvaluateBeforeTrainingThrows) {
+  MlCostModel model;
+  Aig aig = make_adder(4);
+  EXPECT_THROW(model.evaluate(aig), std::logic_error);
+}
+
+}  // namespace
+}  // namespace emorphic

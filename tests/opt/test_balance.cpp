@@ -1,0 +1,81 @@
+#include "opt/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Balance, ChainBecomesTree) {
+  Aig aig;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 8; ++i) pis.push_back(make_lit(aig.add_pi()));
+  Lit acc = pis[0];
+  for (int i = 1; i < 8; ++i) acc = aig.make_and(acc, pis[i]);
+  aig.add_po(acc);
+  EXPECT_EQ(aig.num_levels(), 7u);
+  Aig balanced = balance(aig);
+  EXPECT_EQ(balanced.num_levels(), 3u);
+  EXPECT_TRUE(testing::functionally_equal(aig, balanced));
+}
+
+TEST(Balance, NeverIncreasesDepthRandom) {
+  Rng rng(81);
+  for (int round = 0; round < 10; ++round) {
+    Aig aig = testing::random_aig(6, 4, 60, rng);
+    Aig balanced = balance(aig);
+    EXPECT_LE(balanced.num_levels(), aig.num_levels());
+    EXPECT_TRUE(testing::functionally_equal(aig, balanced)) << round;
+  }
+}
+
+TEST(Balance, RespectsSharedNodes) {
+  // A shared AND must remain a leaf of the enclosing trees, not be
+  // duplicated into them.
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit c = make_lit(aig.add_pi());
+  Lit shared = aig.make_and(a, b);
+  aig.add_po(aig.make_and(shared, c));
+  aig.add_po(aig.make_and(shared, lit_not(c)));
+  Aig balanced = balance(aig);
+  EXPECT_TRUE(testing::functionally_equal(aig, balanced));
+  EXPECT_LE(balanced.num_ands(), aig.num_ands());
+}
+
+TEST(Balance, ComplementedEdgesAreBoundaries) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit c = make_lit(aig.add_pi());
+  Lit inner = aig.make_and(a, b);
+  aig.add_po(aig.make_and(lit_not(inner), c));
+  Aig balanced = balance(aig);
+  EXPECT_TRUE(testing::functionally_equal(aig, balanced));
+}
+
+TEST(Balance, IdempotentOnBalancedTree) {
+  Aig aig;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 8; ++i) pis.push_back(make_lit(aig.add_pi()));
+  aig.add_po(aig.make_and_n(pis));
+  Aig once = balance(aig);
+  Aig twice = balance(once);
+  EXPECT_EQ(once.num_levels(), twice.num_levels());
+  EXPECT_EQ(once.num_ands(), twice.num_ands());
+}
+
+TEST(Balance, ConstantAndPiOutputs) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  aig.add_po(kLitTrue);
+  aig.add_po(lit_not(a));
+  Aig balanced = balance(aig);
+  EXPECT_EQ(balanced.po(0), kLitTrue);
+  EXPECT_TRUE(testing::functionally_equal(aig, balanced));
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,60 @@
+#include "opt/refactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "opt/resyn.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Refactor, PreservesFunctionRandom) {
+  Rng rng(121);
+  for (int round = 0; round < 8; ++round) {
+    Aig aig = testing::random_aig(6, 4, 60, rng);
+    Aig out = refactor(aig);
+    EXPECT_TRUE(testing::functionally_equal(aig, out)) << round;
+    EXPECT_LE(out.num_ands(), aig.num_ands());
+  }
+}
+
+TEST(Refactor, ReducesRedundantCone) {
+  // f = (a&b) | (a&c): naive structure uses 3 ANDs; factoring finds a&(b|c).
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit c = make_lit(aig.add_pi());
+  aig.add_po(aig.make_or(aig.make_and(a, b), aig.make_and(a, c)));
+  Aig out = refactor(aig);
+  EXPECT_TRUE(testing::functionally_equal(aig, out));
+  EXPECT_LE(out.num_ands(), aig.num_ands());
+}
+
+TEST(Refactor, NeverIncreasesSize) {
+  Rng rng(122);
+  for (int round = 0; round < 8; ++round) {
+    Aig aig = testing::random_aig(8, 4, 120, rng);
+    EXPECT_LE(refactor(aig).num_ands(), aig.num_ands());
+  }
+}
+
+TEST(Resyn, ScriptsPreserveFunction) {
+  Rng rng(123);
+  for (int round = 0; round < 6; ++round) {
+    Aig aig = testing::random_aig(6, 3, 70, rng);
+    EXPECT_TRUE(testing::functionally_equal(aig, strash(aig)));
+    EXPECT_TRUE(testing::functionally_equal(aig, resyn(aig)));
+    EXPECT_TRUE(testing::functionally_equal(aig, dch_substitute(aig)));
+  }
+}
+
+TEST(Resyn, DchSubstituteDoesNotGrow) {
+  Rng rng(124);
+  for (int round = 0; round < 6; ++round) {
+    Aig aig = testing::random_aig(7, 3, 90, rng);
+    EXPECT_LE(dch_substitute(aig).num_ands(), aig.num_ands() + 2);
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,76 @@
+#include "opt/sop_balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "benchgen/arith.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(SopBalance, PreservesFunctionRandom) {
+  Rng rng(131);
+  for (int round = 0; round < 8; ++round) {
+    Aig aig = testing::random_aig(6, 4, 60, rng);
+    Aig out = sop_balance(aig);
+    EXPECT_TRUE(testing::functionally_equal(aig, out)) << round;
+  }
+}
+
+TEST(SopBalance, ReducesDepthOfChain) {
+  // A long AND chain collapses into K-input LUT layers.
+  Aig aig;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 24; ++i) pis.push_back(make_lit(aig.add_pi()));
+  Lit acc = pis[0];
+  for (int i = 1; i < 24; ++i) acc = aig.make_and(acc, pis[i]);
+  aig.add_po(acc);
+  Aig out = sop_balance(aig);
+  EXPECT_TRUE(testing::functionally_equal(aig, out));
+  // The 23-level chain collapses to a few LUT layers, each a balanced
+  // factored AND tree (LUT-cover depth, not the global optimum of 5).
+  EXPECT_LT(out.num_levels(), aig.num_levels());
+  EXPECT_LE(out.num_levels(), 8u);
+}
+
+TEST(SopBalance, ImprovesAdderDepth) {
+  Aig adder = make_adder(16);
+  Aig out = sop_balance(adder);
+  EXPECT_TRUE(testing::functionally_equal(adder, out));
+  EXPECT_LT(out.num_levels(), adder.num_levels());
+}
+
+TEST(SopBalance, HandlesConstantsAndPassthrough) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  aig.add_po(kLitFalse, "zero");
+  aig.add_po(a, "pass");
+  aig.add_po(lit_not(a), "inv");
+  Aig out = sop_balance(aig);
+  EXPECT_TRUE(testing::functionally_equal(aig, out));
+}
+
+TEST(SopBalance, ParameterSweepPreservesFunction) {
+  Rng rng(132);
+  Aig aig = testing::random_aig(8, 3, 80, rng);
+  for (unsigned k = 3; k <= 6; ++k) {
+    SopBalanceParams params;
+    params.cut_size = k;
+    params.num_cuts = 8;
+    Aig out = sop_balance(aig, params);
+    EXPECT_TRUE(testing::functionally_equal(aig, out)) << "K=" << k;
+  }
+}
+
+TEST(SopBalance, DepthNeverBlowsUp) {
+  Rng rng(133);
+  for (int round = 0; round < 5; ++round) {
+    Aig aig = testing::random_aig(6, 3, 50, rng);
+    Aig out = sop_balance(aig);
+    // SOP balancing targets delay; allow small slack but no blow-up.
+    EXPECT_LE(out.num_levels(), aig.num_levels() + 2);
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

@@ -1,0 +1,106 @@
+// Randomized SAT-solver validation: every answer is checked against a
+// brute-force oracle on small instances, and every model is verified to
+// satisfy every clause.
+
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace emorphic::sat {
+namespace {
+
+struct Instance {
+  unsigned num_vars;
+  std::vector<std::vector<SatLit>> clauses;
+};
+
+Instance random_instance(Rng& rng, unsigned num_vars, unsigned num_clauses,
+                         unsigned width) {
+  Instance inst;
+  inst.num_vars = num_vars;
+  for (unsigned c = 0; c < num_clauses; ++c) {
+    std::vector<SatLit> clause;
+    unsigned k = 1 + rng.next_below(width);
+    for (unsigned j = 0; j < k; ++j) {
+      clause.push_back(sat_lit(static_cast<SatVar>(rng.next_below(num_vars)),
+                               rng.chance(0.5)));
+    }
+    inst.clauses.push_back(std::move(clause));
+  }
+  return inst;
+}
+
+bool brute_force_sat(const Instance& inst) {
+  for (std::uint64_t m = 0; m < (1ull << inst.num_vars); ++m) {
+    bool all = true;
+    for (const auto& clause : inst.clauses) {
+      bool any = false;
+      for (SatLit l : clause) {
+        bool value = ((m >> sat_var(l)) & 1ull) != 0;
+        if (value != sat_sign(l)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class SatFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatFuzz, AgreesWithBruteForceAndModelsAreValid) {
+  Rng rng(9000 + GetParam());
+  for (int round = 0; round < 30; ++round) {
+    unsigned num_vars = 4 + static_cast<unsigned>(rng.next_below(10));
+    unsigned num_clauses =
+        static_cast<unsigned>(num_vars * (2.0 + 3.0 * rng.next_double()));
+    Instance inst = random_instance(rng, num_vars, num_clauses, 3);
+
+    Solver solver;
+    solver.new_vars(num_vars);
+    for (const auto& clause : inst.clauses) solver.add_clause(clause);
+    SatResult result = solver.solve();
+    bool expect = brute_force_sat(inst);
+    ASSERT_EQ(result == SatResult::kSat, expect)
+        << "disagrees with brute force (round " << round << ")";
+
+    if (result == SatResult::kSat) {
+      for (const auto& clause : inst.clauses) {
+        bool any = false;
+        for (SatLit l : clause) {
+          if (solver.model_value(sat_var(l)) != sat_sign(l)) {
+            any = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(any) << "model violates a clause";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatFuzz, ::testing::Range(0, 8));
+
+TEST(SatFuzz, WideClausesAndUnits) {
+  Rng rng(9901);
+  for (int round = 0; round < 20; ++round) {
+    unsigned num_vars = 6 + static_cast<unsigned>(rng.next_below(6));
+    Instance inst = random_instance(rng, num_vars, num_vars * 3, 6);
+    // Sprinkle unit clauses to exercise top-level propagation.
+    inst.clauses.push_back({sat_lit(0, rng.chance(0.5))});
+    Solver solver;
+    solver.new_vars(num_vars);
+    for (const auto& clause : inst.clauses) solver.add_clause(clause);
+    EXPECT_EQ(solver.solve() == SatResult::kSat, brute_force_sat(inst));
+  }
+}
+
+}  // namespace
+}  // namespace emorphic::sat

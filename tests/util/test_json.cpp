@@ -1,0 +1,70 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emorphic {
+namespace {
+
+TEST(Json, RoundTripScalars) {
+  EXPECT_EQ(Json::parse("null").type(), Json::Type::kNull);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5").as_number(), 3.5);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, RoundTripNested) {
+  const std::string text = R"({"a":[1,2,{"b":"x"}],"c":true})";
+  Json doc = Json::parse(text);
+  EXPECT_EQ(doc.at("a").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("a").as_array()[2].at("b").as_string(), "x");
+  EXPECT_TRUE(doc.at("c").as_bool());
+  // dump -> parse -> dump is a fixpoint
+  std::string dumped = doc.dump();
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+}
+
+TEST(Json, EscapeHandling) {
+  Json v(std::string("a\"b\\c\nd"));
+  Json parsed = Json::parse(v.dump());
+  EXPECT_EQ(parsed.as_string(), "a\"b\\c\nd");
+}
+
+TEST(Json, BuilderInterface) {
+  Json doc = Json::object();
+  doc["x"] = 1;
+  doc["y"].push_back(Json("a"));
+  doc["y"].push_back(Json("b"));
+  EXPECT_EQ(doc.at("x").as_int(), 1);
+  EXPECT_EQ(doc.at("y").as_array().size(), 2u);
+  EXPECT_TRUE(doc.contains("x"));
+  EXPECT_FALSE(doc.contains("z"));
+}
+
+TEST(Json, IntegersPrintWithoutDecimals) {
+  Json v(static_cast<std::int64_t>(123456789));
+  EXPECT_EQ(v.dump(), "123456789");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,"), JsonParseError);
+  EXPECT_THROW(Json::parse("tru"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+}
+
+TEST(Json, MissingKeyThrows) {
+  Json doc = Json::parse("{\"a\":1}");
+  EXPECT_THROW(doc.at("b"), JsonParseError);
+}
+
+TEST(Json, PrettyPrintParses) {
+  Json doc = Json::parse(R"({"k":[1,2],"m":{"n":true}})");
+  Json again = Json::parse(doc.dump(2));
+  EXPECT_EQ(again.dump(), doc.dump());
+}
+
+}  // namespace
+}  // namespace emorphic

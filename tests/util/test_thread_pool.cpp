@@ -1,0 +1,56 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace emorphic {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.parallel_for(10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, TasksCanSubmitWork) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.parallel_for(8, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor must wait for queued tasks before joining
+  EXPECT_EQ(counter.load(), 16);
+}
+
+}  // namespace
+}  // namespace emorphic
