@@ -2,6 +2,10 @@
 // the wall clock goes to the conventional ABC-style delay flow vs. e-graph
 // conversion vs. SA extraction, for both cost models.
 //
+// The per-stage times come from FlowObserver telemetry (on_stage_end), not
+// hand-inserted timers: the observer collects one StageTelemetry per
+// executed pipeline stage and folds them into the Fig. 9 buckets.
+//
 // Shape target: the conventional flow dominates; conversion is negligible;
 // the E-morphic additions are moderate and relatively smaller on the
 // larger circuits.
@@ -14,6 +18,32 @@ using namespace emorphic;
 using namespace emorphic::bench;
 
 namespace {
+
+/// Accumulates the per-stage telemetry of one pipeline run.
+class TelemetryObserver : public FlowObserver {
+ public:
+  void on_stage_end(const Stage&, const StageTelemetry& stage,
+                    const FlowContext&) override {
+    telemetry_.stages.push_back(stage);
+  }
+
+  EmorphicBreakdown breakdown() const { return breakdown_from(telemetry_); }
+
+ private:
+  FlowTelemetry telemetry_;
+};
+
+EmorphicBreakdown run_with_telemetry(const Aig& circuit, const FlowParams& params,
+                                     const QorEvaluator* evaluator) {
+  TelemetryObserver observer;
+  FlowContext ctx;
+  ctx.params = params;
+  ctx.input = circuit;
+  ctx.evaluator = evaluator;
+  ctx.observer = &observer;
+  Pipeline::emorphic().run(ctx);
+  return observer.breakdown();
+}
 
 void print_breakdown(const char* title,
                      const std::vector<std::pair<std::string, EmorphicBreakdown>>& rows) {
@@ -74,13 +104,12 @@ int main() {
       p.rewrite.max_enodes = 40000;
       p.sa.moves_per_iteration = 2;
     }
-    EmorphicResult exact = emorphic_flow(circuit, p);
-    exact_rows.emplace_back(spec.name, exact.breakdown);
+    exact_rows.emplace_back(spec.name,
+                            run_with_telemetry(circuit, p, nullptr));
 
     FlowParams pm = p;
     pm.sa.num_threads = 6;
-    EmorphicResult ml = emorphic_flow(circuit, pm, &model);
-    ml_rows.emplace_back(spec.name, ml.breakdown);
+    ml_rows.emplace_back(spec.name, run_with_telemetry(circuit, pm, &model));
     std::printf("[done] %s\n", spec.name.c_str());
   }
   std::printf("\n");

@@ -45,27 +45,36 @@ GATE lp_aoi21 0.25 Y=!((A*B)+C);    PIN * 21
   CellLibrary lib = parse_genlib(genlib);
   std::printf("library: %zu cells (XOR cheaper than NAND)\n\n", lib.size());
 
-  // --- 3. run the pipeline manually with both ------------------------------
+  // --- 3. compose a custom pipeline with both ------------------------------
+  // Both extension points plug straight into the Pipeline API: the custom
+  // rule set rides in a RewriteStage, the custom library in
+  // FlowParams.library (it steers the gated rounds, the SA cost model, and
+  // the final mapping alike).
   Aig circuit = make_adder(12);  // XOR-rich: adders love cheap XORs
-  Aig optimized = dch_substitute(sop_balance(strash(circuit)));
 
-  CircuitEGraph ce = aig_to_egraph(optimized);
-  RunnerLimits limits;
-  limits.max_iterations = 4;
-  limits.max_enodes = 25000;
-  run_rewriting(ce.egraph, rules, limits);
+  FlowParams params;
+  params.library = &lib;
+  params.rounds = 1;
+  params.rewrite.max_iterations = 4;
+  params.rewrite.max_enodes = 25000;
+  params.sa.num_threads = 2;
+  params.sa.iterations = 3;
+  params.sa.moves_per_iteration = 3;
+
+  Pipeline pipeline;
+  pipeline.add("ResynRounds")
+      .add("EgraphConversion")                     // forward
+      .add(StagePtr(new RewriteStage(rules)))      // the custom rule set
+      .add("SaExtract")
+      .add("EgraphConversion")                     // backward (SA winner)
+      .add(StagePtr(new TechMapStage(/*resynth_gate=*/true)))
+      .add("Cec");
+
+  FlowResult result = pipeline.run(circuit, params);
   std::printf("e-graph after custom rules: %zu e-nodes, %zu classes\n",
-              ce.egraph.num_enodes(), ce.egraph.num_classes());
+              result.egraph_enodes, result.egraph_classes);
 
-  MapQorEvaluator evaluator(lib);
-  SaParams sa;
-  sa.num_threads = 2;
-  sa.iterations = 3;
-  sa.moves_per_iteration = 3;
-  SaResult result = sa_extract(ce.egraph, ce.roots, ce.pi_names, evaluator, sa);
-  Aig chosen = egraph_to_aig(ce, result.best);
-
-  MappedNetlist netlist = map_to_cells(dch_substitute(chosen), lib);
+  const MappedNetlist& netlist = *result.netlist;
   std::printf("mapped onto the custom library: %zu gates, %.2f um^2, %.1f ps\n",
               netlist.num_gates(), netlist.area(), netlist.delay());
 
@@ -80,6 +89,6 @@ GATE lp_aoi21 0.25 Y=!((A*B)+C);    PIN * 21
   }
 
   std::printf("\ncec(original, result): %s\n",
-              cec_status_name(cec(circuit, chosen).status));
+              cec_status_name(result.verify_status));
   return 0;
 }

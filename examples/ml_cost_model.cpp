@@ -8,7 +8,6 @@
 #include <cstdio>
 
 #include "core/emorphic.hpp"
-#include "util/timer.hpp"
 
 using namespace emorphic;
 
@@ -50,15 +49,21 @@ int main() {
   params.sa.moves_per_iteration = 3;
   params.verify = false;
 
-  Timer t_exact;
-  params.sa.num_threads = 4;  // quality-prioritized: 4 threads (Sec. IV-A)
-  EmorphicResult exact = emorphic_flow(circuit, params);
-  double exact_s = t_exact.seconds();
+  // Both modes run the same Pipeline::emorphic(); the cost model is the
+  // FlowContext's evaluator, and timings come from pipeline telemetry.
+  Pipeline pipeline = Pipeline::emorphic();
 
-  Timer t_ml;
+  params.sa.num_threads = 4;  // quality-prioritized: 4 threads (Sec. IV-A)
+  FlowResult exact = pipeline.run(circuit, params);
+  double exact_s = exact.telemetry.total_seconds;
+
   params.sa.num_threads = 6;  // runtime-prioritized: 6 threads
-  EmorphicResult ml = emorphic_flow(circuit, params, &model);
-  double ml_s = t_ml.seconds();
+  FlowContext ml_ctx;
+  ml_ctx.params = params;
+  ml_ctx.input = circuit;
+  ml_ctx.evaluator = &model;
+  FlowResult ml = pipeline.run(ml_ctx);
+  double ml_s = ml.telemetry.total_seconds;
 
   std::printf("%-26s %10s %10s %9s\n", "mode", "area(um2)", "delay(ps)",
               "time(s)");

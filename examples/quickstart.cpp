@@ -1,5 +1,6 @@
-// Quickstart: build a circuit, run the full E-morphic flow, inspect the
-// result, and verify equivalence — the five-minute tour of the public API.
+// Quickstart: build a circuit, assemble the E-morphic pipeline, watch it
+// run through an observer, inspect the result, and verify equivalence —
+// the five-minute tour of the public API.
 //
 //   $ ./build/examples/quickstart
 
@@ -8,6 +9,21 @@
 #include "core/emorphic.hpp"
 
 using namespace emorphic;
+
+namespace {
+
+/// Prints one line per finished pipeline stage — the simplest useful
+/// FlowObserver.
+class PrintingObserver : public FlowObserver {
+ public:
+  void on_stage_end(const Stage&, const StageTelemetry& stage,
+                    const FlowContext&) override {
+    std::printf("  [%zu] %-16s %6.3f s\n", stage.index, stage.name.c_str(),
+                stage.seconds);
+  }
+};
+
+}  // namespace
 
 int main() {
   std::printf("%s\n\n", version());
@@ -21,19 +37,24 @@ int main() {
 
   // 2. Configure the flow. Defaults mirror the paper (Sec. IV-A); here we
   //    shrink limits so the example runs in a couple of seconds.
-  EmorphicOptions options;
-  options.mode = CostModelMode::kQualityPrioritized;
-  options.flow.rounds = 2;
-  options.flow.rewrite.max_iterations = 3;
-  options.flow.rewrite.max_enodes = 20000;
-  options.flow.sa.num_threads = 2;
-  options.flow.sa.moves_per_iteration = 2;
+  FlowParams params;
+  params.rounds = 2;
+  params.rewrite.max_iterations = 3;
+  params.rewrite.max_enodes = 20000;
+  params.sa.num_threads = 2;
+  params.sa.moves_per_iteration = 2;
 
-  // 3. Optimize.
-  EmorphicResult result = optimize(circuit, options);
+  // 3. Run the prebuilt E-morphic pipeline (Fig. 5) with an observer.
+  //    Pipeline::emorphic() is ResynRounds -> EgraphConversion -> Rewrite ->
+  //    SaExtract -> EgraphConversion -> TechMap -> Cec; you can also compose
+  //    your own with Pipeline().add("..."), or call the one-line legacy
+  //    facade optimize() / emorphic_flow() instead.
+  std::printf("\nrunning Pipeline::emorphic():\n");
+  PrintingObserver observer;
+  FlowResult result = Pipeline::emorphic().run(circuit, params, &observer);
 
   // 4. Inspect the results.
-  std::printf("e-graph: %zu e-nodes grown from %zu (%zu classes)\n",
+  std::printf("\ne-graph: %zu e-nodes grown from %zu (%zu classes)\n",
               result.egraph_enodes, result.initial_enodes,
               result.egraph_classes);
   std::printf("mapped:  area %.2f um^2, delay %.1f ps, %u levels, %.2f s\n",

@@ -1,5 +1,6 @@
-// Structural exploration in slow motion: this example opens the hood on
-// the Fig. 5 pipeline. It converts an optimized multiplier into an
+// Structural exploration in slow motion: this example deliberately works
+// BELOW the Pipeline API (see quickstart.cpp for that), calling the
+// primitives each stage wraps. It converts an optimized multiplier into an
 // e-graph, rewrites it, and then shows how *different extractions of the
 // same e-graph* map to very different circuits — the structural-bias story
 // of the paper's introduction, made concrete.

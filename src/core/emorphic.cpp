@@ -28,13 +28,15 @@ MlCostModel train_on_input(const Aig& input, const FlowParams& flow) {
 }  // namespace
 
 EmorphicResult optimize(const Aig& input, const EmorphicOptions& options) {
+  // emorphic_flow is itself a shim over Pipeline::emorphic(); this facade
+  // only picks the cost model and thread budget.
   FlowParams flow = options.flow;
   if (options.mode == CostModelMode::kQualityPrioritized) {
     return emorphic_flow(input, flow);
   }
-  // Runtime-prioritized mode: more SA threads (the paper uses 6 instead of
-  // 4) to compensate the weaker cost signal, as in Sec. IV-A.
-  if (flow.sa.num_threads < 6) flow.sa.num_threads = 6;
+  if (options.runtime_sa_threads > 0) {
+    flow.sa.num_threads = options.runtime_sa_threads;
+  }
   if (options.ml_model != nullptr) {
     return emorphic_flow(input, flow, options.ml_model);
   }

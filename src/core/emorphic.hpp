@@ -19,8 +19,10 @@
 #include "egraph/runner.hpp"
 #include "egraph/serialize.hpp"
 #include "extract/sa_extractor.hpp"
+#include "flow/batch.hpp"
 #include "flow/conversion.hpp"
 #include "flow/flows.hpp"
+#include "flow/pipeline.hpp"
 #include "mapper/genlib.hpp"
 #include "mapper/tech_mapper.hpp"
 #include "ml/cost_model.hpp"
@@ -42,6 +44,12 @@ struct EmorphicOptions {
   /// trained on the fly from structural variants of the input circuit
   /// (a miniature of the paper's OpenABC-D fine-tuning).
   const MlCostModel* ml_model = nullptr;
+  /// SA thread count for runtime-prioritized mode; 0 honors
+  /// flow.sa.num_threads. The paper compensates the weaker cost signal with
+  /// 6 threads instead of 4 (Sec. IV-A) — set 6 here to reproduce that.
+  /// (Earlier versions bumped to 6 silently; batch callers have the same
+  /// knob as BatchParams::sa_threads.)
+  unsigned runtime_sa_threads = 0;
 };
 
 /// Run the full E-morphic flow on `input`.

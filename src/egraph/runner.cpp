@@ -14,12 +14,20 @@ const char* stop_reason_name(StopReason reason) {
       return "node-limit";
     case StopReason::kTimeLimit:
       return "time-limit";
+    case StopReason::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
 
 RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
                            const RunnerLimits& limits) {
+  return run_rewriting(egraph, rules, limits, RunnerHooks{});
+}
+
+RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
+                           const RunnerLimits& limits,
+                           const RunnerHooks& hooks) {
   RunnerReport report;
   report.rule_matches.assign(rules.size(), 0);
   report.rule_applications.assign(rules.size(), 0);
@@ -74,6 +82,10 @@ RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
     stats.seconds = iter_timer.seconds();
     report.iterations.push_back(stats);
 
+    if (hooks.on_iteration && !hooks.on_iteration(stats)) {
+      report.stop_reason = StopReason::kCancelled;
+      break;
+    }
     if (stats.enodes_after >= limits.max_enodes) {
       report.stop_reason = StopReason::kNodeLimit;
       break;

@@ -9,6 +9,7 @@
 // keeping node counts and runtime in check (Sec. I, insight 1).
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,13 @@ struct RunnerLimits {
   std::size_t max_matches_per_rule = 20000;
 };
 
-enum class StopReason { kSaturated, kIterLimit, kNodeLimit, kTimeLimit };
+enum class StopReason {
+  kSaturated,
+  kIterLimit,
+  kNodeLimit,
+  kTimeLimit,
+  kCancelled,  // an iteration hook asked to stop (see RunnerHooks)
+};
 
 const char* stop_reason_name(StopReason reason);
 
@@ -46,8 +53,22 @@ struct RunnerReport {
   std::vector<std::size_t> rule_applications;
 };
 
+/// Progress callbacks for a rewriting run (all optional).
+struct RunnerHooks {
+  /// Called after every completed iteration with its stats; return false to
+  /// stop early (reported as StopReason::kCancelled). This is how the flow
+  /// pipeline forwards iteration telemetry to FlowObserver and implements
+  /// cancellation / time budgets.
+  std::function<bool(const IterationStats&)> on_iteration;
+};
+
 /// Run equality saturation over `egraph` with the given rules and limits.
 RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
                            const RunnerLimits& limits);
+
+/// Overload with progress hooks.
+RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
+                           const RunnerLimits& limits,
+                           const RunnerHooks& hooks);
 
 }  // namespace emorphic

@@ -34,7 +34,8 @@ double next_temperature(double t, unsigned n, double delta) {
 ChainResult run_chain(unsigned thread_index, const EGraph& egraph,
                       const std::vector<SerializedRoot>& roots,
                       const std::vector<std::string>& pi_names,
-                      const QorEvaluator& evaluator, const SaParams& params) {
+                      const QorEvaluator& evaluator, const SaParams& params,
+                      const SaHooks& hooks, std::mutex& hook_mutex) {
   ChainResult result;
   Rng rng(params.seed * 0x9e3779b97f4a7c15ull + thread_index + 1);
 
@@ -80,6 +81,7 @@ ChainResult run_chain(unsigned thread_index, const EGraph& egraph,
   for (unsigned iter = 1; iter <= params.iterations; ++iter) {
     if (iter > 1) temperature = next_temperature(temperature, iter, last_delta);
     for (unsigned move = 0; move < params.moves_per_iteration; ++move) {
+      if (hooks.stop && hooks.stop()) return result;
       BottomUpOptions options;
       options.cost = &proxy;
       options.p_random = params.p_random;
@@ -105,8 +107,13 @@ ChainResult run_chain(unsigned thread_index, const EGraph& egraph,
         accept = rng.next_double() < std::exp(-delta / temperature);
       }
 
-      result.trace.push_back(SaTracePoint{thread_index, iter, move, temperature,
-                                          cost, current_cost, accept});
+      SaTracePoint point{thread_index, iter,         move,  temperature,
+                         cost,         current_cost, accept};
+      result.trace.push_back(point);
+      if (hooks.on_move) {
+        std::lock_guard<std::mutex> lock(hook_mutex);
+        hooks.on_move(point);
+      }
       if (accept) {
         current = std::move(candidate);
         current_qor = qor;
@@ -129,16 +136,26 @@ SaResult sa_extract(const EGraph& egraph,
                     const std::vector<SerializedRoot>& roots,
                     const std::vector<std::string>& pi_names,
                     const QorEvaluator& evaluator, const SaParams& params) {
+  return sa_extract(egraph, roots, pi_names, evaluator, params, SaHooks{});
+}
+
+SaResult sa_extract(const EGraph& egraph,
+                    const std::vector<SerializedRoot>& roots,
+                    const std::vector<std::string>& pi_names,
+                    const QorEvaluator& evaluator, const SaParams& params,
+                    const SaHooks& hooks) {
   Timer timer;
   unsigned num_threads = std::max(1u, params.num_threads);
 
   std::vector<ChainResult> chains(num_threads);
   {
+    std::mutex hook_mutex;
     std::vector<std::thread> threads;
     threads.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
       threads.emplace_back([&, t] {
-        chains[t] = run_chain(t, egraph, roots, pi_names, evaluator, params);
+        chains[t] = run_chain(t, egraph, roots, pi_names, evaluator, params,
+                              hooks, hook_mutex);
       });
     }
     for (auto& th : threads) th.join();

@@ -13,6 +13,7 @@
 //   * the best mapped solution across all chains wins.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -85,10 +86,29 @@ struct SaResult {
   std::vector<SaTracePoint> trace;
 };
 
+/// Progress callbacks for an extraction run (all optional). The flow
+/// pipeline uses them to stream FlowObserver events and to implement
+/// cancellation / time budgets across the parallel chains.
+struct SaHooks {
+  /// Called after every evaluated move. Calls are serialized by an internal
+  /// mutex, but chains interleave in nondeterministic order.
+  std::function<void(const SaTracePoint&)> on_move;
+  /// Polled by every chain before each move; return true to stop all chains
+  /// early. Must be thread-safe. The best solution found so far still wins.
+  std::function<bool()> stop;
+};
+
 /// Run parallel simulated-annealing extraction over a (rewritten) e-graph.
 SaResult sa_extract(const EGraph& egraph,
                     const std::vector<SerializedRoot>& roots,
                     const std::vector<std::string>& pi_names,
                     const QorEvaluator& evaluator, const SaParams& params);
+
+/// Overload with progress hooks.
+SaResult sa_extract(const EGraph& egraph,
+                    const std::vector<SerializedRoot>& roots,
+                    const std::vector<std::string>& pi_names,
+                    const QorEvaluator& evaluator, const SaParams& params,
+                    const SaHooks& hooks);
 
 }  // namespace emorphic

@@ -1,0 +1,64 @@
+#include "flow/batch.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace emorphic {
+
+namespace {
+
+/// splitmix64 (Vigna): decorrelates consecutive indices into independent
+/// seeds, so circuit i's SA chains never overlap circuit i+1's.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t circuit_seed(std::uint64_t base_seed, std::size_t index) {
+  std::uint64_t seed = splitmix64(base_seed ^ splitmix64(index + 1));
+  // 0 means "no override" to the pipeline; keep derived seeds nonzero.
+  if (seed == 0) seed = 0x9e3779b97f4a7c15ull;
+  return seed;
+}
+
+}  // namespace
+
+BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
+                      const FlowParams& params, const BatchParams& batch,
+                      FlowObserver* observer) {
+  Timer timer;
+  BatchResult result;
+  result.results.resize(inputs.size());
+  if (inputs.empty()) {
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  FlowParams shared = params;
+  if (batch.sa_threads > 0) shared.sa.num_threads = batch.sa_threads;
+
+  unsigned workers = batch.num_threads;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, inputs.size()));
+
+  ThreadPool pool(workers);
+  pool.parallel_for(inputs.size(), [&](std::size_t i) {
+    FlowContext ctx;
+    ctx.params = shared;
+    ctx.input = inputs[i];
+    ctx.seed = circuit_seed(batch.base_seed, i);
+    ctx.observer = observer;
+    ctx.cancel = batch.cancel;
+    ctx.time_budget_s = batch.time_budget_s;
+    ctx.batch_index = i;
+    result.results[i] = pipeline.run(ctx);
+  });
+
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace emorphic

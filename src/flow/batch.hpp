@@ -1,0 +1,49 @@
+#pragma once
+// Batched multi-circuit driver: fan a set of circuits out over a worker
+// pool, running the same Pipeline on each with a deterministic per-circuit
+// seed. This is the serving seam for the production north star — one
+// pipeline definition, many circuits, reproducible results regardless of
+// how many workers happen to be available.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+
+namespace emorphic {
+
+struct BatchParams {
+  /// Worker threads fanning circuits out; 0 = hardware concurrency. Inner
+  /// SA threads multiply with this, so batches of many circuits usually
+  /// pair num_threads = cores with sa_threads = 1.
+  unsigned num_threads = 0;
+  /// Per-circuit seeds are derived deterministically from this (splitmix64
+  /// of base_seed and the circuit index), so the same batch always produces
+  /// the same FlowQor per circuit, whatever the worker count.
+  std::uint64_t base_seed = 1;
+  /// Override of FlowParams.sa.num_threads per circuit; 0 keeps the
+  /// pipeline's setting. This is the explicit home of the thread bump the
+  /// optimize() facade used to apply silently in runtime-prioritized mode.
+  unsigned sa_threads = 0;
+  /// Wall-clock budget per circuit; 0 = unlimited. Over-budget circuits
+  /// stop between stages and report FlowResult::cancelled.
+  double time_budget_s = 0.0;
+  /// Shared cancellation flag for the whole batch (polled per stage/move).
+  std::atomic<bool>* cancel = nullptr;
+};
+
+struct BatchResult {
+  std::vector<FlowResult> results;  // one per input, in input order
+  double seconds = 0.0;             // wall clock for the whole batch
+};
+
+/// Run `pipeline` on every circuit in `inputs` with shared `params`. The
+/// observer (optional) receives events from all circuits concurrently and
+/// must be thread-safe; FlowContext::batch_index identifies the circuit.
+BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
+                      const FlowParams& params, const BatchParams& batch = {},
+                      FlowObserver* observer = nullptr);
+
+}  // namespace emorphic

@@ -1,147 +1,45 @@
 #include "flow/flows.hpp"
 
-#include "egraph/rules.hpp"
-#include "util/timer.hpp"
-
 namespace emorphic {
 
-namespace {
-
-/// One "(st; if -g)(st; dch; ...)" tech-independent round. Alternating the
-/// pass order across rounds explores different structures, mirroring how
-/// ABC's choice-based rounds see multiple networks.
-Aig optimize_round(const Aig& aig, const FlowParams& params, unsigned round) {
-  Aig cur = strash(aig);
-  if (round % 2 == 0) {
-    cur = sop_balance(strash(dch_substitute(cur)), params.sop_balance);
-  } else {
-    cur = dch_substitute(strash(sop_balance(cur, params.sop_balance)));
-  }
-  return cur;
+EmorphicBreakdown breakdown_from(const FlowTelemetry& telemetry) {
+  EmorphicBreakdown breakdown;
+  breakdown.flow_seconds =
+      telemetry.seconds_for("ResynRounds") + telemetry.seconds_for("TechMap");
+  breakdown.conversion_seconds = telemetry.seconds_for("EgraphConversion");
+  breakdown.rewrite_seconds = telemetry.seconds_for("Rewrite");
+  breakdown.sa_seconds = telemetry.seconds_for("SaExtract");
+  return breakdown;
 }
-
-/// Gated round loop: a candidate is adopted only when its mapped delay
-/// (area as tie-break) improves on the incumbent. ABC's script tolerates
-/// per-round regressions because `dch` keeps the previous structure alive
-/// as choices; without choices, gating plays that role and keeps the
-/// baseline a monotone, competitive delay flow (DESIGN.md, Substitutions).
-struct GatedFlowState {
-  Aig best_aig;
-  std::optional<MappedNetlist> best_netlist;
-  double best_delay = 0.0;
-  double best_area = 0.0;
-};
-
-GatedFlowState run_gated_rounds(const Aig& input, const FlowParams& params) {
-  GatedFlowState state;
-  state.best_aig = strash(input);
-  state.best_netlist =
-      map_to_cells(state.best_aig, *params.library, params.mapping);
-  state.best_delay = state.best_netlist->delay();
-  state.best_area = state.best_netlist->area();
-
-  auto cost = [&](double delay, double area) {
-    return delay + params.area_weight * area;
-  };
-  Aig cur = state.best_aig;
-  for (unsigned round = 0; round < params.rounds; ++round) {
-    cur = optimize_round(cur, params, round);
-    MappedNetlist netlist = map_to_cells(cur, *params.library, params.mapping);
-    double delay = netlist.delay();
-    double area = netlist.area();
-    if (cost(delay, area) < cost(state.best_delay, state.best_area)) {
-      state.best_aig = cur;
-      state.best_netlist = std::move(netlist);
-      state.best_delay = delay;
-      state.best_area = area;
-    }
-  }
-  return state;
-}
-
-}  // namespace
 
 BaselineResult baseline_flow(const Aig& input, const FlowParams& params) {
-  Timer timer;
-  GatedFlowState state = run_gated_rounds(input, params);
-  BaselineResult result{FlowQor{}, state.best_aig, std::move(state.best_netlist)};
-  result.qor.area = state.best_area;
-  result.qor.delay = state.best_delay;
-  result.qor.lev = result.final_aig.num_levels();
-  result.qor.seconds = timer.seconds();
+  FlowResult flow = Pipeline::baseline().run(input, params);
+  BaselineResult result;
+  result.qor = flow.qor;
+  result.final_aig = std::move(flow.final_aig);
+  result.netlist = std::move(flow.netlist);
   return result;
 }
 
 EmorphicResult emorphic_flow(const Aig& input, const FlowParams& params,
                              const QorEvaluator* evaluator) {
-  MapQorEvaluator default_evaluator(*params.library, params.area_weight);
-  if (evaluator == nullptr) evaluator = &default_evaluator;
+  FlowContext ctx;
+  ctx.params = params;
+  ctx.input = input;
+  ctx.evaluator = evaluator;
+  FlowResult flow = Pipeline::emorphic().run(ctx);
 
-  Timer total;
   EmorphicResult result;
-  Timer stage;
-
-  // Rounds 1..N-1 of the conventional flow (gated, as in baseline_flow).
-  FlowParams pre_params = params;
-  pre_params.rounds = params.rounds > 0 ? params.rounds - 1 : 0;
-  GatedFlowState pre = run_gated_rounds(input, pre_params);
-  Aig cur = pre.best_aig;
-  result.breakdown.flow_seconds += stage.seconds();
-
-  // Direct DAG-to-DAG conversion (forward).
-  stage.restart();
-  CircuitEGraph ce = aig_to_egraph(cur);
-  result.initial_enodes = ce.egraph.num_enodes();
-  result.breakdown.conversion_seconds += stage.seconds();
-
-  // Few iterations of equality saturation (Sec. I insight 1: a handful of
-  // non-destructive rounds already yields a rich choice space).
-  stage.restart();
-  static const std::vector<Rewrite> rules = make_logic_rules();
-  result.rewrite_report = run_rewriting(ce.egraph, rules, params.rewrite);
-  result.egraph_classes = ce.egraph.num_classes();
-  result.egraph_enodes = ce.egraph.num_enodes();
-  result.breakdown.rewrite_seconds += stage.seconds();
-
-  // Parallel SA extraction under the QoR cost model.
-  stage.restart();
-  result.sa = sa_extract(ce.egraph, ce.roots, ce.pi_names, *evaluator,
-                         params.sa);
-  result.breakdown.sa_seconds += stage.seconds();
-
-  // Backward conversion of the winning solution.
-  stage.restart();
-  Aig chosen = egraph_to_aig(ce, result.sa.best);
-  result.breakdown.conversion_seconds += stage.seconds();
-
-  // Final (st; dch; map) round on the chosen structure. SA already
-  // optimized the mapped delay of `chosen`, so the resynthesis is gated the
-  // same way the earlier rounds are.
-  stage.restart();
-  Aig chosen_st = strash(chosen);
-  MappedNetlist netlist =
-      map_to_cells(chosen_st, *params.library, params.mapping);
-  Aig final_aig = chosen_st;
-  Aig resynth = dch_substitute(chosen_st);
-  MappedNetlist netlist2 =
-      map_to_cells(resynth, *params.library, params.mapping);
-  if (netlist2.delay() + params.area_weight * netlist2.area() <
-      netlist.delay() + params.area_weight * netlist.area()) {
-    netlist = std::move(netlist2);
-    final_aig = resynth;
-  }
-  result.breakdown.flow_seconds += stage.seconds();
-
-  result.final_aig = final_aig;
-  result.qor.area = netlist.area();
-  result.qor.delay = netlist.delay();
-  result.qor.lev = final_aig.num_levels();
-  result.netlist = std::move(netlist);
-  result.qor.seconds = total.seconds();
-
-  if (params.verify) {
-    result.verify_status = cec(input, final_aig, params.cec_params).status;
-  }
+  result.qor = flow.qor;
+  result.final_aig = std::move(flow.final_aig);
+  result.netlist = std::move(flow.netlist);
+  result.breakdown = breakdown_from(flow.telemetry);
+  result.rewrite_report = std::move(flow.rewrite_report);
+  result.egraph_classes = flow.egraph_classes;
+  result.egraph_enodes = flow.egraph_enodes;
+  result.initial_enodes = flow.initial_enodes;
+  result.verify_status = flow.verify_status;
+  result.sa = std::move(flow.sa);
   return result;
 }
 

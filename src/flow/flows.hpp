@@ -1,68 +1,25 @@
 #pragma once
-// End-to-end synthesis flows (Sec. IV-C):
+// Legacy end-to-end flow entry points (Sec. IV-C), kept for back-compat as
+// thin shims over the composable pipeline API in flow/pipeline.hpp:
 //
 //  baseline: [(st; if -g -K 6 -C 8)(st; dch; map)] x 4
 //            — the competitive delay-oriented flow of [22] the paper
-//              compares against;
+//              compares against; equivalent to Pipeline::baseline().
 //  E-morphic: the same for 3 rounds, then e-graph resynthesis (direct
 //            conversion -> few rewriting iterations -> parallel SA
 //            extraction under a QoR cost model) feeding the final
-//            (st; dch; map) round.
+//            (st; dch; map) round; equivalent to Pipeline::emorphic().
+//
+// New code should prefer Pipeline directly: it exposes per-stage telemetry,
+// observers, cancellation, time budgets, and batching (flow/batch.hpp).
+// FlowParams, FlowQor, and MapQorEvaluator live in pipeline.hpp now; this
+// header re-exports them by inclusion.
 
 #include <optional>
 
-#include "cec/cec.hpp"
-#include "egraph/runner.hpp"
-#include "extract/sa_extractor.hpp"
-#include "flow/conversion.hpp"
-#include "mapper/tech_mapper.hpp"
-#include "opt/resyn.hpp"
-#include "opt/sop_balance.hpp"
+#include "flow/pipeline.hpp"
 
 namespace emorphic {
-
-/// Quality-prioritized cost model (Sec. III-C.2): a fast, rough technology
-/// mapping; the mapped delay is the SA cost, area breaks ties.
-class MapQorEvaluator : public QorEvaluator {
- public:
-  explicit MapQorEvaluator(const CellLibrary& library, double area_weight = 0.5)
-      : QorEvaluator(area_weight), library_(&library) {
-    // Reduced effort relative to the final map: fewer priority cuts and no
-    // area recovery, trading accuracy for evaluation speed.
-    params_.num_cuts = 4;
-    params_.area_recovery = false;
-  }
-
-  Qor evaluate(const Aig& candidate) const override {
-    MappedQor q = map_qor(candidate, *library_, params_);
-    return Qor{q.area, q.delay};
-  }
-
- private:
-  const CellLibrary* library_;
-  MapperParams params_;
-};
-
-struct FlowParams {
-  const CellLibrary* library = &CellLibrary::asap7_like();
-  unsigned rounds = 4;            // total optimization rounds
-  /// Area term in the scalar flow cost (delay + weight*area): delay stays
-  /// the primary objective, area breaks near-ties (see QorEvaluator::cost).
-  double area_weight = 0.5;
-  SopBalanceParams sop_balance;   // K=6, C=8
-  MapperParams mapping;           // final map effort
-  RunnerLimits rewrite;           // e-graph rewriting limits (5 iterations)
-  SaParams sa;                    // SA extraction parameters
-  bool verify = true;             // cec the result against the input
-  CecParams cec_params;
-};
-
-struct FlowQor {
-  double area = 0.0;       // µm²
-  double delay = 0.0;      // ps
-  std::uint32_t lev = 0;   // AIG levels before the final mapping
-  double seconds = 0.0;    // total runtime
-};
 
 struct BaselineResult {
   FlowQor qor;
@@ -70,13 +27,20 @@ struct BaselineResult {
   std::optional<MappedNetlist> netlist;
 };
 
-/// Fig. 9's runtime decomposition.
+/// Fig. 9's runtime decomposition. Derived from FlowTelemetry these days —
+/// see breakdown_from() — and kept because the benches and older callers
+/// speak this shape.
 struct EmorphicBreakdown {
   double flow_seconds = 0.0;        // conventional optimization + mapping
   double conversion_seconds = 0.0;  // DAG-to-DAG conversion (fwd + bwd)
   double rewrite_seconds = 0.0;     // equality saturation
   double sa_seconds = 0.0;          // SA extraction incl. QoR evaluations
 };
+
+/// Fold per-stage telemetry into the Fig. 9 buckets: ResynRounds + TechMap
+/// count as the conventional flow, both EgraphConversion runs as conversion,
+/// Rewrite and SaExtract as themselves; Cec is excluded.
+EmorphicBreakdown breakdown_from(const FlowTelemetry& telemetry);
 
 struct EmorphicResult {
   FlowQor qor;

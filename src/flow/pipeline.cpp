@@ -1,0 +1,352 @@
+#include "flow/pipeline.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "egraph/rules.hpp"
+
+namespace emorphic {
+
+namespace {
+
+double flow_cost(const FlowParams& params, double delay, double area) {
+  return delay + params.area_weight * area;
+}
+
+/// One "(st; if -g)(st; dch; ...)" tech-independent round. Alternating the
+/// pass order across rounds explores different structures, mirroring how
+/// ABC's choice-based rounds see multiple networks.
+Aig optimize_round(const Aig& aig, const FlowParams& params, unsigned round) {
+  Aig cur = strash(aig);
+  if (round % 2 == 0) {
+    cur = sop_balance(strash(dch_substitute(cur)), params.sop_balance);
+  } else {
+    cur = dch_substitute(strash(sop_balance(cur, params.sop_balance)));
+  }
+  return cur;
+}
+
+}  // namespace
+
+FlowResult FlowContext::take_result() {
+  FlowResult result;
+  result.qor = qor;
+  result.final_aig = std::move(current);
+  result.netlist = std::move(netlist);
+  result.telemetry = std::move(telemetry);
+  result.rewrite_report = std::move(rewrite_report);
+  result.sa = std::move(sa);
+  result.egraph_classes = egraph_classes;
+  result.egraph_enodes = egraph_enodes;
+  result.initial_enodes = initial_enodes;
+  result.verify_status = verify_status;
+  result.cancelled = stopped_early;
+  return result;
+}
+
+// --- ResynRounds ------------------------------------------------------------
+
+void ResynRoundsStage::run(FlowContext& ctx) const {
+  const FlowParams& params = ctx.params;
+  unsigned rounds = params.rounds;
+  if (policy_ == Rounds::kAllButLast && rounds > 0) rounds -= 1;
+
+  // ABC's script tolerates per-round regressions because `dch` keeps the
+  // previous structure alive as choices; without choices, gating plays that
+  // role and keeps this a monotone, competitive delay flow.
+  Aig best = strash(ctx.current);
+  MappedNetlist best_netlist = map_to_cells(best, *params.library,
+                                            params.mapping);
+  double best_delay = best_netlist.delay();
+  double best_area = best_netlist.area();
+
+  Aig cur = best;
+  for (unsigned round = 0; round < rounds; ++round) {
+    if (ctx.should_stop()) break;
+    cur = optimize_round(cur, params, round);
+    MappedNetlist mapped = map_to_cells(cur, *params.library, params.mapping);
+    double delay = mapped.delay();
+    double area = mapped.area();
+    if (flow_cost(params, delay, area) <
+        flow_cost(params, best_delay, best_area)) {
+      best = cur;
+      best_netlist = std::move(mapped);
+      best_delay = delay;
+      best_area = area;
+    }
+  }
+
+  ctx.current = std::move(best);
+  ctx.netlist = std::move(best_netlist);
+  ctx.netlist_is_current = true;
+}
+
+// --- EgraphConversion -------------------------------------------------------
+
+void EgraphConversionStage::run(FlowContext& ctx) const {
+  if (!ctx.egraph.has_value()) {
+    ctx.egraph.emplace(aig_to_egraph(ctx.current));
+    ctx.initial_enodes = ctx.egraph->egraph.num_enodes();
+    return;
+  }
+  if (ctx.sa_valid) {
+    ctx.current = egraph_to_aig(*ctx.egraph, ctx.sa.best);
+  } else {
+    ctx.current = egraph_to_aig_greedy(*ctx.egraph, CostKind::kDepth);
+  }
+  ctx.netlist.reset();
+  ctx.netlist_is_current = false;
+}
+
+// --- Rewrite ----------------------------------------------------------------
+
+void RewriteStage::run(FlowContext& ctx) const {
+  if (!ctx.egraph.has_value()) {
+    throw std::runtime_error(
+        "Rewrite stage needs an e-graph: add EgraphConversion first");
+  }
+  const std::vector<Rewrite>* rules = &rules_;
+  if (rules->empty()) {
+    static const std::vector<Rewrite> default_rules = make_logic_rules();
+    rules = &default_rules;
+  }
+  RunnerHooks hooks;
+  hooks.on_iteration = [&ctx](const IterationStats& stats) {
+    if (ctx.observer != nullptr) ctx.observer->on_rewrite_iteration(stats, ctx);
+    return !ctx.should_stop();
+  };
+  ctx.rewrite_report =
+      run_rewriting(ctx.egraph->egraph, *rules, ctx.params.rewrite, hooks);
+  ctx.egraph_classes = ctx.egraph->egraph.num_classes();
+  ctx.egraph_enodes = ctx.egraph->egraph.num_enodes();
+}
+
+// --- SaExtract --------------------------------------------------------------
+
+void SaExtractStage::run(FlowContext& ctx) const {
+  if (!ctx.egraph.has_value()) {
+    throw std::runtime_error(
+        "SaExtract stage needs an e-graph: add EgraphConversion first");
+  }
+  const FlowParams& params = ctx.params;
+  MapQorEvaluator default_evaluator(*params.library, params.area_weight);
+  const QorEvaluator* evaluator =
+      ctx.evaluator != nullptr ? ctx.evaluator : &default_evaluator;
+
+  SaParams sa_params = params.sa;
+  if (ctx.seed != 0) sa_params.seed = ctx.seed;
+
+  SaHooks hooks;
+  hooks.stop = [&ctx] { return ctx.should_stop(); };
+  if (ctx.observer != nullptr) {
+    hooks.on_move = [&ctx](const SaTracePoint& point) {
+      ctx.observer->on_sa_move(point, ctx);
+    };
+  }
+  ctx.sa = sa_extract(ctx.egraph->egraph, ctx.egraph->roots,
+                      ctx.egraph->pi_names, *evaluator, sa_params, hooks);
+  ctx.sa_valid = true;
+}
+
+// --- TechMap ----------------------------------------------------------------
+
+void TechMapStage::run(FlowContext& ctx) const {
+  const FlowParams& params = ctx.params;
+  if (resynth_gate_) {
+    // The E-morphic final round: SA already optimized the mapped delay of
+    // ctx.current, so one more resynthesis is gated like the earlier rounds.
+    Aig chosen_st = strash(ctx.current);
+    MappedNetlist mapped =
+        map_to_cells(chosen_st, *params.library, params.mapping);
+    Aig final_aig = chosen_st;
+    Aig resynth = dch_substitute(chosen_st);
+    MappedNetlist remapped =
+        map_to_cells(resynth, *params.library, params.mapping);
+    if (flow_cost(params, remapped.delay(), remapped.area()) <
+        flow_cost(params, mapped.delay(), mapped.area())) {
+      mapped = std::move(remapped);
+      final_aig = std::move(resynth);
+    }
+    ctx.current = std::move(final_aig);
+    ctx.netlist = std::move(mapped);
+    ctx.netlist_is_current = true;
+  } else if (!ctx.netlist.has_value() || !ctx.netlist_is_current) {
+    ctx.current = strash(ctx.current);
+    ctx.netlist =
+        map_to_cells(ctx.current, *params.library, params.mapping);
+    ctx.netlist_is_current = true;
+  }
+  ctx.qor.area = ctx.netlist->area();
+  ctx.qor.delay = ctx.netlist->delay();
+  ctx.qor.lev = ctx.current.num_levels();
+}
+
+// --- Cec --------------------------------------------------------------------
+
+void CecStage::run(FlowContext& ctx) const {
+  if (!ctx.params.verify) return;
+  ctx.verify_status = cec(ctx.input, ctx.current, ctx.params.cec_params).status;
+}
+
+// --- stage registry ---------------------------------------------------------
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, StageFactory>& registry() {
+  // Built-ins are seeded on first access so registration order cannot race
+  // with static initialization in other translation units.
+  static std::map<std::string, StageFactory> stages = [] {
+    std::map<std::string, StageFactory> map;
+    map["ResynRounds"] = [] { return StagePtr(new ResynRoundsStage()); };
+    map["EgraphConversion"] = [] {
+      return StagePtr(new EgraphConversionStage());
+    };
+    map["Rewrite"] = [] { return StagePtr(new RewriteStage()); };
+    map["SaExtract"] = [] { return StagePtr(new SaExtractStage()); };
+    map["TechMap"] = [] { return StagePtr(new TechMapStage()); };
+    map["Cec"] = [] { return StagePtr(new CecStage()); };
+    return map;
+  }();
+  return stages;
+}
+
+}  // namespace
+
+bool register_stage(const std::string& name, StageFactory factory) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry().insert_or_assign(name, std::move(factory)).second;
+}
+
+StagePtr make_stage(const std::string& name) {
+  StageFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    auto it = registry().find(name);
+    if (it != registry().end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : registered_stage_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown stage '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return factory();
+}
+
+std::vector<std::string> registered_stage_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+// --- Pipeline ---------------------------------------------------------------
+
+Pipeline& Pipeline::add(StagePtr stage) {
+  stages_.emplace_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::add(const std::string& registered_name) {
+  return add(make_stage(registered_name));
+}
+
+std::vector<std::string> Pipeline::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& stage : stages_) names.emplace_back(stage->name());
+  return names;
+}
+
+FlowResult Pipeline::run(FlowContext& ctx) const {
+  // Re-initialize all working state from the configuration members: a
+  // context can be reused for several runs (take_result only moves the
+  // previous run's results out).
+  ctx.stopwatch.restart();
+  ctx.current = ctx.input;
+  ctx.egraph.reset();
+  ctx.netlist.reset();
+  ctx.netlist_is_current = false;
+  ctx.sa_valid = false;
+  ctx.qor = FlowQor{};
+  ctx.rewrite_report = RunnerReport{};
+  ctx.sa = SaResult{};
+  ctx.egraph_classes = 0;
+  ctx.egraph_enodes = 0;
+  ctx.initial_enodes = 0;
+  ctx.verify_status = CecStatus::kUndecided;
+  ctx.telemetry = FlowTelemetry{};
+  ctx.stopped_early = false;
+  if (ctx.observer != nullptr) ctx.observer->on_flow_begin(ctx);
+
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (ctx.should_stop()) {
+      ctx.stopped_early = true;
+      break;
+    }
+    const Stage& stage = *stages_[i];
+    if (ctx.observer != nullptr) ctx.observer->on_stage_begin(stage, ctx);
+    Timer stage_timer;
+    stage.run(ctx);
+    StageTelemetry telemetry{stage.name(), i, stage_timer.seconds()};
+    ctx.telemetry.stages.push_back(telemetry);
+    if (ctx.observer != nullptr) {
+      ctx.observer->on_stage_end(stage, telemetry, ctx);
+    }
+  }
+
+  // FlowQor::seconds is the optimization time: every stage except the
+  // verification, matching the legacy flows (which stamped the total before
+  // running cec).
+  double optimization = 0.0;
+  for (const StageTelemetry& s : ctx.telemetry.stages) {
+    if (s.name != std::string_view("Cec")) optimization += s.seconds;
+  }
+  ctx.qor.seconds = optimization;
+  ctx.telemetry.total_seconds = ctx.stopwatch.seconds();
+
+  if (ctx.observer != nullptr) ctx.observer->on_flow_end(ctx);
+  return ctx.take_result();
+}
+
+FlowResult Pipeline::run(const Aig& input, const FlowParams& params,
+                         FlowObserver* observer) const {
+  FlowContext ctx;
+  ctx.params = params;
+  ctx.input = input;
+  ctx.observer = observer;
+  return run(ctx);
+}
+
+Pipeline Pipeline::baseline() {
+  Pipeline pipeline;
+  pipeline.add(StagePtr(new ResynRoundsStage(ResynRoundsStage::Rounds::kAll)));
+  pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/false)));
+  return pipeline;
+}
+
+Pipeline Pipeline::emorphic() {
+  Pipeline pipeline;
+  pipeline.add(
+      StagePtr(new ResynRoundsStage(ResynRoundsStage::Rounds::kAllButLast)));
+  pipeline.add(StagePtr(new EgraphConversionStage()));  // forward
+  pipeline.add(StagePtr(new RewriteStage()));
+  pipeline.add(StagePtr(new SaExtractStage()));
+  pipeline.add(StagePtr(new EgraphConversionStage()));  // backward
+  pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/true)));
+  pipeline.add(StagePtr(new CecStage()));
+  return pipeline;
+}
+
+}  // namespace emorphic

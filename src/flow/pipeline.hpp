@@ -1,0 +1,355 @@
+#pragma once
+// Composable flow pipeline — the public seam every E-morphic flow hangs off.
+//
+// The paper's Fig. 5 flow (tech-independent optimization -> direct DAG-to-DAG
+// conversion -> equality saturation -> parallel SA extraction -> mapping ->
+// CEC) is expressed as a sequence of `Stage` objects threaded through a
+// shared `FlowContext`. A `Pipeline` is an ordered list of stages; running it
+// produces a `FlowResult` with per-stage telemetry. A `FlowObserver` receives
+// begin/end events for the flow and each stage, plus fine-grained progress
+// from the rewriting runner (per iteration) and the SA extractor (per move) —
+// this subsumes the old hand-inserted timers behind `EmorphicBreakdown`.
+//
+// Stages are stateless and re-entrant: all mutable state lives in the
+// FlowContext, so one Pipeline instance can drive many circuits concurrently
+// (see flow/batch.hpp). Custom stages register under a name in the stage
+// registry (`register_stage`) and can then be assembled by name.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cec/cec.hpp"
+#include "egraph/runner.hpp"
+#include "extract/sa_extractor.hpp"
+#include "flow/conversion.hpp"
+#include "mapper/tech_mapper.hpp"
+#include "opt/resyn.hpp"
+#include "opt/sop_balance.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace emorphic {
+
+/// Quality-prioritized cost model (Sec. III-C.2): a fast, rough technology
+/// mapping; the mapped delay is the SA cost, area breaks ties.
+class MapQorEvaluator : public QorEvaluator {
+ public:
+  explicit MapQorEvaluator(const CellLibrary& library, double area_weight = 0.5)
+      : QorEvaluator(area_weight), library_(&library) {
+    // Reduced effort relative to the final map: fewer priority cuts and no
+    // area recovery, trading accuracy for evaluation speed.
+    params_.num_cuts = 4;
+    params_.area_recovery = false;
+  }
+
+  Qor evaluate(const Aig& candidate) const override {
+    MappedQor q = map_qor(candidate, *library_, params_);
+    return Qor{q.area, q.delay};
+  }
+
+ private:
+  const CellLibrary* library_;
+  MapperParams params_;
+};
+
+struct FlowParams {
+  const CellLibrary* library = &CellLibrary::asap7_like();
+  unsigned rounds = 4;            // total optimization rounds
+  /// Area term in the scalar flow cost (delay + weight*area): delay stays
+  /// the primary objective, area breaks near-ties (see QorEvaluator::cost).
+  double area_weight = 0.5;
+  SopBalanceParams sop_balance;   // K=6, C=8
+  MapperParams mapping;           // final map effort
+  RunnerLimits rewrite;           // e-graph rewriting limits (5 iterations)
+  SaParams sa;                    // SA extraction parameters
+  bool verify = true;             // cec the result against the input
+  CecParams cec_params;
+};
+
+struct FlowQor {
+  double area = 0.0;       // µm²
+  double delay = 0.0;      // ps
+  std::uint32_t lev = 0;   // AIG levels before the final mapping
+  double seconds = 0.0;    // optimization runtime (verification excluded)
+};
+
+/// Wall-clock record of one executed stage.
+struct StageTelemetry {
+  std::string name;        // Stage::name() of the stage that ran
+  std::size_t index = 0;   // position in the pipeline
+  double seconds = 0.0;
+};
+
+struct FlowTelemetry {
+  std::vector<StageTelemetry> stages;  // in execution order
+  double total_seconds = 0.0;          // whole pipeline, including observers
+
+  /// Total seconds of every executed stage with this name (a stage class can
+  /// appear several times, e.g. EgraphConversion forward + backward).
+  double seconds_for(std::string_view name) const {
+    double sum = 0.0;
+    for (const StageTelemetry& s : stages) {
+      if (s.name == name) sum += s.seconds;
+    }
+    return sum;
+  }
+};
+
+/// Everything a finished pipeline produced. Fields that a pipeline's stages
+/// never touch keep their defaults (e.g. `sa` for the baseline pipeline).
+struct FlowResult {
+  FlowQor qor;
+  Aig final_aig;
+  std::optional<MappedNetlist> netlist;
+  FlowTelemetry telemetry;
+  RunnerReport rewrite_report;
+  SaResult sa;
+  std::size_t egraph_classes = 0;
+  std::size_t egraph_enodes = 0;
+  std::size_t initial_enodes = 0;
+  CecStatus verify_status = CecStatus::kUndecided;
+  /// True when the run stopped early (cancellation flag or time budget).
+  bool cancelled = false;
+};
+
+class Stage;
+struct FlowContext;
+
+/// Callback interface for flow progress. All methods have empty default
+/// bodies — override what you need. When a pipeline runs inside run_batch,
+/// one observer instance sees events from several circuits concurrently
+/// (disambiguate with FlowContext::batch_index) and must be thread-safe.
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+
+  virtual void on_flow_begin(const FlowContext& /*ctx*/) {}
+  virtual void on_stage_begin(const Stage& /*stage*/,
+                              const FlowContext& /*ctx*/) {}
+  virtual void on_stage_end(const Stage& /*stage*/,
+                            const StageTelemetry& /*telemetry*/,
+                            const FlowContext& /*ctx*/) {}
+  /// One equality-saturation iteration finished (Rewrite stage).
+  virtual void on_rewrite_iteration(const IterationStats& /*stats*/,
+                                    const FlowContext& /*ctx*/) {}
+  /// One annealing move was evaluated (SaExtract stage). Serialized by an
+  /// internal mutex, but chains interleave nondeterministically.
+  virtual void on_sa_move(const SaTracePoint& /*point*/,
+                          const FlowContext& /*ctx*/) {}
+  virtual void on_flow_end(const FlowContext& /*ctx*/) {}
+};
+
+/// Shared state threaded through the stages of one pipeline run. Configure
+/// the members under "configuration", hand it to Pipeline::run(ctx), and
+/// read the results back (or use the FlowResult returned by run).
+struct FlowContext {
+  // --- configuration -------------------------------------------------------
+  FlowParams params;
+  /// Per-run seed override for stochastic stages; 0 keeps params.sa.seed.
+  /// run_batch derives a deterministic nonzero seed per circuit from it.
+  std::uint64_t seed = 0;
+  /// Cost-model override for SaExtract; null uses MapQorEvaluator over
+  /// params.library (the paper's quality-prioritized mode).
+  const QorEvaluator* evaluator = nullptr;
+  FlowObserver* observer = nullptr;
+  /// Shared worker pool, reserved for stages that fan work out. The batch
+  /// driver keeps this null for its own pool: stages must not block on the
+  /// pool that is running the pipeline itself.
+  ThreadPool* pool = nullptr;
+  /// External cancellation flag, polled between stages, between rewrite
+  /// iterations, and between SA moves.
+  std::atomic<bool>* cancel = nullptr;
+  /// Wall-clock budget for the whole run; 0 = unlimited.
+  double time_budget_s = 0.0;
+  /// Index of this circuit within a run_batch call (0 otherwise).
+  std::size_t batch_index = 0;
+
+  // --- working state (stage inputs/outputs) --------------------------------
+  Aig input;    // original circuit, kept pristine for verification
+  Aig current;  // the network being transformed
+  std::optional<CircuitEGraph> egraph;
+  std::optional<MappedNetlist> netlist;
+  /// True while `netlist` corresponds to `current` (stages that change
+  /// `current` clear it, so TechMap knows when a remap is needed).
+  bool netlist_is_current = false;
+  /// True once SaExtract populated `sa` (EgraphConversion's backward pass
+  /// falls back to greedy extraction otherwise).
+  bool sa_valid = false;
+
+  // --- results -------------------------------------------------------------
+  FlowQor qor;
+  RunnerReport rewrite_report;
+  SaResult sa;
+  std::size_t egraph_classes = 0;
+  std::size_t egraph_enodes = 0;
+  std::size_t initial_enodes = 0;
+  CecStatus verify_status = CecStatus::kUndecided;
+  FlowTelemetry telemetry;
+  /// Set by Pipeline::run when it skipped stages (cancellation flag or time
+  /// budget fired between stages). A run whose every stage completed is not
+  /// "cancelled", even if the budget expired during the final stage.
+  bool stopped_early = false;
+
+  /// Restarted by Pipeline::run; the reference point for time_budget_s.
+  Timer stopwatch;
+
+  bool should_stop() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return time_budget_s > 0.0 && stopwatch.seconds() > time_budget_s;
+  }
+
+  /// Move the result fields out. Pipeline::run re-initializes all working
+  /// state from the configuration members, so a context can be reused for
+  /// further runs after this.
+  FlowResult take_result();
+};
+
+/// One step of a flow. Implementations must be stateless/re-entrant: run()
+/// is const and may execute concurrently on different contexts.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual void run(FlowContext& ctx) const = 0;
+};
+
+using StagePtr = std::unique_ptr<Stage>;
+
+// --- built-in stages (registry names match the class stem) ------------------
+
+/// Gated ABC-style "(st; if -g)(st; dch; map)" rounds: a candidate round is
+/// adopted only when its mapped cost improves on the incumbent. Leaves the
+/// best network in ctx.current and its mapping in ctx.netlist.
+class ResynRoundsStage : public Stage {
+ public:
+  enum class Rounds {
+    kAll,         // run params.rounds rounds (the baseline flow)
+    kAllButLast,  // leave the last round to a resynth-gated TechMap
+  };
+  explicit ResynRoundsStage(Rounds policy = Rounds::kAll) : policy_(policy) {}
+  const char* name() const override { return "ResynRounds"; }
+  void run(FlowContext& ctx) const override;
+
+ private:
+  Rounds policy_;
+};
+
+/// Direction-aware DAG-to-DAG conversion (Sec. III-D.1): forward
+/// (ctx.current -> ctx.egraph) when no e-graph exists yet, backward
+/// (ctx.egraph -> ctx.current) afterwards, using the SA winner when
+/// SaExtract ran and greedy depth-cost extraction otherwise.
+class EgraphConversionStage : public Stage {
+ public:
+  const char* name() const override { return "EgraphConversion"; }
+  void run(FlowContext& ctx) const override;
+};
+
+/// A few equality-saturation iterations over ctx.egraph. An empty rule set
+/// means the built-in make_logic_rules().
+class RewriteStage : public Stage {
+ public:
+  RewriteStage() = default;
+  explicit RewriteStage(std::vector<Rewrite> rules) : rules_(std::move(rules)) {}
+  const char* name() const override { return "Rewrite"; }
+  void run(FlowContext& ctx) const override;
+
+ private:
+  std::vector<Rewrite> rules_;
+};
+
+/// Parallel simulated-annealing extraction under ctx.evaluator (or the
+/// default MapQorEvaluator). Stores the winner in ctx.sa; the circuit is
+/// materialized by the following EgraphConversion (backward) stage.
+class SaExtractStage : public Stage {
+ public:
+  const char* name() const override { return "SaExtract"; }
+  void run(FlowContext& ctx) const override;
+};
+
+/// Final technology mapping. Reuses ctx.netlist when it is still current
+/// (the gated rounds already mapped the winner); with `resynth_gate` it also
+/// tries one dch-substitute resynthesis of ctx.current and keeps whichever
+/// maps better (the E-morphic flow's final "(st; dch; map)" round).
+class TechMapStage : public Stage {
+ public:
+  explicit TechMapStage(bool resynth_gate = false)
+      : resynth_gate_(resynth_gate) {}
+  const char* name() const override { return "TechMap"; }
+  void run(FlowContext& ctx) const override;
+
+ private:
+  bool resynth_gate_;
+};
+
+/// SAT-backed combinational equivalence check of ctx.current against
+/// ctx.input (no-op unless params.verify). Its runtime is excluded from
+/// FlowQor::seconds, matching the legacy flows.
+class CecStage : public Stage {
+ public:
+  const char* name() const override { return "Cec"; }
+  void run(FlowContext& ctx) const override;
+};
+
+// --- stage registry ---------------------------------------------------------
+
+using StageFactory = std::function<StagePtr()>;
+
+/// Register a factory under `name` (overwrites an existing entry); returns
+/// true when the name was new. The built-in stages are pre-registered.
+bool register_stage(const std::string& name, StageFactory factory);
+
+/// Instantiate a registered stage; throws std::invalid_argument (listing the
+/// known names) when `name` is unknown.
+StagePtr make_stage(const std::string& name);
+
+std::vector<std::string> registered_stage_names();
+
+// --- the pipeline -----------------------------------------------------------
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  Pipeline& add(StagePtr stage);
+  /// Append a stage by registry name (see register_stage).
+  Pipeline& add(const std::string& registered_name);
+
+  std::size_t size() const { return stages_.size(); }
+  const std::vector<std::shared_ptr<const Stage>>& stages() const {
+    return stages_;
+  }
+  std::vector<std::string> stage_names() const;
+
+  /// Run every stage in order on a caller-prepared context (full control:
+  /// seed, evaluator, observer, cancellation, time budget). Stops early when
+  /// ctx.should_stop() fires between stages.
+  FlowResult run(FlowContext& ctx) const;
+
+  /// Convenience wrapper over a fresh context.
+  FlowResult run(const Aig& input, const FlowParams& params = {},
+                 FlowObserver* observer = nullptr) const;
+
+  /// The conventional delay-oriented flow of [22]:
+  /// ResynRounds; TechMap.
+  static Pipeline baseline();
+
+  /// The paper's Fig. 5 flow: ResynRounds (all but the last round);
+  /// EgraphConversion (fwd); Rewrite; SaExtract; EgraphConversion (bwd);
+  /// TechMap (resynth-gated final round); Cec.
+  static Pipeline emorphic();
+
+ private:
+  // Shared (not unique) so a Pipeline is cheap to copy and one instance can
+  // serve concurrent run() calls; stages are stateless by contract.
+  std::vector<std::shared_ptr<const Stage>> stages_;
+};
+
+}  // namespace emorphic

@@ -1,5 +1,55 @@
 #include "mapper/cell_library.hpp"
 
-// CellLibrary's non-trivial members live in genlib.cpp next to the parser
-// (they need the embedded library text). This translation unit exists so the
-// header has a home in the build graph even if genlib is stripped out.
+#include <stdexcept>
+
+// asap7_like() depends on the genlib subsystem: the built-in library is
+// parsed from the embedded genlib text (asap7_like_genlib_text). This is the
+// one place CellLibrary reaches outside its own header — strip genlib.cpp
+// and everything here except asap7_like() still links.
+#include "mapper/genlib.hpp"
+
+namespace emorphic {
+
+const CellLibrary& CellLibrary::asap7_like() {
+  // Function-local static: constructed on first use (safe to call from
+  // static initializers in any translation unit, e.g. FlowParams' default
+  // member initializer) and thread-safe per the C++11 magic-statics rule.
+  static const CellLibrary lib = parse_genlib(asap7_like_genlib_text());
+  return lib;
+}
+
+std::uint32_t CellLibrary::inverter() const {
+  const Tt inv_tt = tt_not(tt_var(0, 4), 4);
+  std::int32_t best = -1;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].num_inputs == 1 && cells_[i].tt == inv_tt) {
+      if (best < 0 || cells_[i].area < cells_[best].area) {
+        best = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  if (best < 0) throw std::runtime_error("cell library has no inverter");
+  return static_cast<std::uint32_t>(best);
+}
+
+std::int32_t CellLibrary::buffer() const {
+  const Tt buf_tt = tt_var(0, 4);
+  std::int32_t best = -1;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].num_inputs == 1 && cells_[i].tt == buf_tt) {
+      if (best < 0 || cells_[i].area < cells_[best].area) {
+        best = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  return best;
+}
+
+std::int32_t CellLibrary::find(const std::string& name) const {
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace emorphic

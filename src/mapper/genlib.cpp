@@ -246,43 +246,4 @@ GATE MAJ3x1   0.3269 Y=(A*B)+(A*C)+(B*C); PIN * 26
 )";
 }
 
-const CellLibrary& CellLibrary::asap7_like() {
-  static const CellLibrary lib = parse_genlib(asap7_like_genlib_text());
-  return lib;
-}
-
-std::uint32_t CellLibrary::inverter() const {
-  const Tt inv_tt = tt_not(tt_var(0, 4), 4);
-  std::int32_t best = -1;
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i].num_inputs == 1 && cells_[i].tt == inv_tt) {
-      if (best < 0 || cells_[i].area < cells_[best].area) {
-        best = static_cast<std::int32_t>(i);
-      }
-    }
-  }
-  if (best < 0) throw std::runtime_error("cell library has no inverter");
-  return static_cast<std::uint32_t>(best);
-}
-
-std::int32_t CellLibrary::buffer() const {
-  const Tt buf_tt = tt_var(0, 4);
-  std::int32_t best = -1;
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i].num_inputs == 1 && cells_[i].tt == buf_tt) {
-      if (best < 0 || cells_[i].area < cells_[best].area) {
-        best = static_cast<std::int32_t>(i);
-      }
-    }
-  }
-  return best;
-}
-
-std::int32_t CellLibrary::find(const std::string& name) const {
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
-    if (cells_[i].name == name) return static_cast<std::int32_t>(i);
-  }
-  return -1;
-}
-
 }  // namespace emorphic
