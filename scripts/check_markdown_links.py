@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images and reference
+definitions, resolves repo-relative and file-relative targets, and exits
+nonzero listing any target that does not exist. External links (http/https/
+mailto) and pure in-page anchors are ignored; anchors on intra-repo links
+are checked against the target file's headings.
+
+Usage: scripts/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (close enough for our headings)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build"} and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path: str) -> set:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return set()
+    return {slugify(h) for h in HEADING.findall(text)}
+
+
+def check(root: str) -> int:
+    errors = []
+    for md_path in sorted(markdown_files(root)):
+        with open(md_path, encoding="utf-8") as handle:
+            text = handle.read()
+        rel_md = os.path.relpath(md_path, root)
+        targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+        own_anchors = None
+        for target in targets:
+            if target.startswith(EXTERNAL) or target.startswith("<"):
+                continue
+            target, _, anchor = target.partition("#")
+            if not target:  # pure in-page anchor
+                if own_anchors is None:
+                    own_anchors = anchors_of(md_path)
+                if anchor and slugify(anchor) not in own_anchors:
+                    errors.append(f"{rel_md}: missing anchor '#{anchor}'")
+                continue
+            if target.startswith("/"):
+                resolved = os.path.join(root, target.lstrip("/"))
+            else:
+                resolved = os.path.join(os.path.dirname(md_path), target)
+            resolved = os.path.normpath(resolved)
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}: broken link '{target}'")
+            elif anchor and resolved.endswith(".md"):
+                if slugify(anchor) not in anchors_of(resolved):
+                    errors.append(
+                        f"{rel_md}: missing anchor '{target}#{anchor}'")
+    if errors:
+        print(f"{len(errors)} broken markdown link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else os.getcwd()))

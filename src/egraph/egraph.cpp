@@ -3,31 +3,39 @@
 #include <algorithm>
 #include <cassert>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace emorphic {
 
-EClassId EGraph::find(EClassId id) const {
-  // Path halving without mutation of logical state; parent_ is mutable
-  // in spirit but we keep the method const-friendly by local iteration.
+EClassId EGraph::find_mut(EClassId id) {
+  // Path halving: every probed link is re-pointed at its grandparent, so
+  // repeated finds flatten the tree even between rebuilds.
   while (parent_[id] != id) {
-    const_cast<EGraph*>(this)->parent_[id] = parent_[parent_[id]];
+    parent_[id] = parent_[parent_[id]];
     id = parent_[id];
   }
   return id;
 }
 
+namespace {
+
+// Commutative operators get a canonical child order so that hash-consing
+// identifies AND(a,b) with AND(b,a) structurally. The commutativity
+// rewrite rules are still sound — they simply find the node already there.
+void sort_commutative_children(ENode& node) {
+  if (op_is_commutative(node.op) && node.children[0] > node.children[1]) {
+    std::swap(node.children[0], node.children[1]);
+  }
+}
+
+}  // namespace
+
 ENode EGraph::canonicalize(ENode node) const {
   for (unsigned i = 0; i < node.arity(); ++i) {
     node.children[i] = find(node.children[i]);
   }
-  // Commutative operators get a canonical child order so that hash-consing
-  // identifies AND(a,b) with AND(b,a) structurally. The commutativity
-  // rewrite rules are still sound — they simply find the node already there.
-  if ((node.op == Op::kAnd || node.op == Op::kOr || node.op == Op::kXor) &&
-      node.children[0] > node.children[1]) {
-    std::swap(node.children[0], node.children[1]);
-  }
+  sort_commutative_children(node);
   return node;
 }
 
@@ -41,36 +49,41 @@ EClassId EGraph::make_class(ENode node) {
 }
 
 EClassId EGraph::add(ENode node) {
-  node = canonicalize(node);
-  auto it = hashcons_.find(node);
-  if (it != hashcons_.end()) return find(it->second);
-  EClassId id = make_class(node);
-  hashcons_.emplace(node, id);
+  // Canonicalize with the mutating find: add() is a write operation anyway,
+  // and the halving keeps chains short during long apply phases.
   for (unsigned i = 0; i < node.arity(); ++i) {
-    classes_[node.children[i]].parents.emplace_back(node, id);
+    node.children[i] = find_mut(node.children[i]);
+  }
+  sort_commutative_children(node);
+  EClassId prospective = static_cast<EClassId>(classes_.size());
+  auto [slot, inserted] = hashcons_.try_emplace(node, prospective);
+  if (!inserted) return find_mut(*slot);
+  EClassId id = make_class(node);
+  for (unsigned i = 0; i < node.arity(); ++i) {
+    classes_[node.children[i]].parents.push_back({node, id});
   }
   return id;
 }
 
 EClassId EGraph::lookup(ENode node) const {
   node = canonicalize(node);
-  auto it = hashcons_.find(node);
-  return it == hashcons_.end() ? kNoEClass : find(it->second);
+  const EClassId* cls = hashcons_.find(node);
+  return cls == nullptr ? kNoEClass : find(*cls);
 }
 
 EClassId EGraph::merge(EClassId a, EClassId b) {
-  a = find(a);
-  b = find(b);
+  a = find_mut(a);
+  b = find_mut(b);
   if (a == b) return a;
   // Union by rank; the loser's contents move into the winner.
   if (rank_[a] < rank_[b]) std::swap(a, b);
   if (rank_[a] == rank_[b]) ++rank_[a];
   parent_[b] = a;
 
-  auto& wa = classes_[a];
-  auto& wb = classes_[b];
-  wa.nodes.insert(wa.nodes.end(), wb.nodes.begin(), wb.nodes.end());
-  wa.parents.insert(wa.parents.end(), wb.parents.begin(), wb.parents.end());
+  EClass& wa = classes_[a];
+  EClass& wb = classes_[b];
+  wa.nodes.append(wb.nodes.begin(), wb.nodes.end());
+  wa.parents.append(wb.parents.begin(), wb.parents.end());
   wb.nodes.clear();
   wb.nodes.shrink_to_fit();
   wb.parents.clear();
@@ -81,46 +94,83 @@ EClassId EGraph::merge(EClassId a, EClassId b) {
 }
 
 void EGraph::repair(EClassId id) {
-  id = find(id);
+  id = find_mut(id);
   EClass& cls = classes_[id];
 
   // Re-canonicalize parents: hashcons entries keyed on stale child ids are
   // replaced, and congruent parents (now structurally identical) merged.
-  std::vector<std::pair<ENode, EClassId>> old_parents;
-  old_parents.swap(cls.parents);
+  SmallVec<ParentEdge, 2> old_parents = std::move(cls.parents);
 
-  std::unordered_map<ENode, EClassId, ENodeHash> seen;
+  // `seen` maps each canonical parent e-node to its slot in `dedup` (the
+  // surviving parent list); HashCons doubles as the scratch table.
+  HashCons seen;
   seen.reserve(old_parents.size());
-  for (auto& [pnode, pclass] : old_parents) {
-    hashcons_.erase(pnode);  // erase under old key (no-op if already gone)
-    ENode canon = canonicalize(pnode);
-    EClassId pcanon = find(pclass);
-    auto it = seen.find(canon);
-    if (it != seen.end()) {
-      // Congruence: two parents became identical -> their classes merge.
-      EClassId merged = merge(it->second, pcanon);
-      it->second = find(merged);
+  std::vector<ParentEdge> dedup;
+  dedup.reserve(old_parents.size());
+  for (const ParentEdge& edge : old_parents) {
+    hashcons_.erase(edge.node);  // erase under old key (no-op if already gone)
+    ENode canon = canonicalize(edge.node);
+    EClassId pcanon = find_mut(edge.cls);
+    auto [slot, inserted] =
+        seen.try_emplace(canon, static_cast<EClassId>(dedup.size()));
+    if (inserted) {
+      dedup.push_back({canon, pcanon});
     } else {
-      seen.emplace(canon, pcanon);
+      // Congruence: two parents became identical -> their classes merge.
+      EClassId merged = merge(dedup[*slot].cls, pcanon);
+      dedup[*slot].cls = find_mut(merged);
     }
   }
-  EClass& cls2 = classes_[find(id)];
-  for (auto& [canon, pclass] : seen) {
-    hashcons_[canon] = find(pclass);
-    cls2.parents.emplace_back(canon, find(pclass));
+  EClass& cls2 = classes_[find_mut(id)];
+  for (const ParentEdge& edge : dedup) {
+    EClassId pc = find_mut(edge.cls);
+    hashcons_.insert(edge.node, pc);
+    cls2.parents.push_back({edge.node, pc});
+    // The parent e-node's stored copy (in class `pc`'s node list) may still
+    // hold the pre-merge child id; queue that class for the rebuild sweep.
+    sweeplist_.push_back(pc);
   }
 
   // Deduplicate the node list under canonical children.
-  EClass& cls3 = classes_[find(id)];
-  std::unordered_set<ENode, ENodeHash> uniq;
-  uniq.reserve(cls3.nodes.size());
-  std::vector<ENode> deduped;
-  deduped.reserve(cls3.nodes.size());
-  for (ENode& n : cls3.nodes) {
-    ENode canon = canonicalize(n);
-    if (uniq.insert(canon).second) deduped.push_back(canon);
+  dedup_nodes(classes_[find_mut(id)]);
+}
+
+void EGraph::dedup_nodes(EClass& cls) {
+  // Identical canonical copies can only appear via re-pointed child ids
+  // (hash-consing rules out duplicates among already-canonical nodes), so a
+  // class whose nodes are all canonical needs no work.
+  bool stale = false;
+  for (const ENode& n : cls.nodes) {
+    if (!(canonicalize(n) == n)) {
+      stale = true;
+      break;
+    }
   }
-  cls3.nodes = std::move(deduped);
+  if (!stale) return;
+  SmallVec<ENode, 2> deduped;
+  deduped.reserve(cls.nodes.size());
+  if (cls.nodes.size() <= 16) {
+    // Small class: a quadratic scan beats hashing.
+    for (const ENode& n : cls.nodes) {
+      ENode canon = canonicalize(n);
+      bool dup = false;
+      for (const ENode& kept : deduped) {
+        if (kept == canon) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) deduped.push_back(canon);
+    }
+  } else {
+    HashCons uniq;
+    uniq.reserve(cls.nodes.size());
+    for (const ENode& n : cls.nodes) {
+      ENode canon = canonicalize(n);
+      if (uniq.try_emplace(canon, 0).second) deduped.push_back(canon);
+    }
+  }
+  cls.nodes = std::move(deduped);
 }
 
 std::size_t EGraph::rebuild() {
@@ -129,40 +179,34 @@ std::size_t EGraph::rebuild() {
   while (!worklist_.empty()) {
     std::vector<EClassId> todo;
     todo.swap(worklist_);
-    std::unordered_set<EClassId> deduped;
-    for (EClassId id : todo) deduped.insert(find(id));
-    for (EClassId id : deduped) {
+    for (EClassId& id : todo) id = find_mut(id);
+    std::sort(todo.begin(), todo.end());
+    todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+    for (EClassId id : todo) {
       std::size_t before = worklist_.size();
       repair(id);
       merges += worklist_.size() - before;
     }
   }
-  // Final sweep: merges re-point child ids, so e-nodes stored in *parent*
-  // classes may hold stale children (and thereby duplicates). Repair only
-  // touched the merged classes; canonicalize everyone so that node lists,
-  // node counts, and the extractors all see one canonical copy per e-node.
   if (repaired_any) {
-    for (EClassId id = 0; id < classes_.size(); ++id) {
-      if (find(id) != id) continue;
-      EClass& cls = classes_[id];
-      bool stale = false;
-      for (const ENode& n : cls.nodes) {
-        if (!(canonicalize(n) == n)) {
-          stale = true;
-          break;
-        }
-      }
-      if (!stale) continue;
-      std::unordered_set<ENode, ENodeHash> uniq;
-      uniq.reserve(cls.nodes.size());
-      std::vector<ENode> deduped_nodes;
-      deduped_nodes.reserve(cls.nodes.size());
-      for (const ENode& n : cls.nodes) {
-        ENode canon = canonicalize(n);
-        if (uniq.insert(canon).second) deduped_nodes.push_back(canon);
-      }
-      cls.nodes = std::move(deduped_nodes);
+    // Canonical-id cache refresh: point every union-find entry directly at
+    // its root so find() on the now-clean e-graph is a single load (and, in
+    // particular, never writes — concurrent readers are safe).
+    for (EClassId id = 0; id < parent_.size(); ++id) {
+      parent_[id] = find(id);
     }
+    // Targeted sweep: merges re-point child ids, so e-nodes stored in
+    // *parent* classes may hold stale children (and thereby duplicates).
+    // repair() queued exactly those classes, so only they are re-checked —
+    // not the whole e-graph.
+    for (EClassId& id : sweeplist_) id = find_mut(id);
+    std::sort(sweeplist_.begin(), sweeplist_.end());
+    sweeplist_.erase(std::unique(sweeplist_.begin(), sweeplist_.end()),
+                     sweeplist_.end());
+    for (EClassId id : sweeplist_) {
+      dedup_nodes(classes_[id]);
+    }
+    sweeplist_.clear();
   }
   return merges;
 }
@@ -206,14 +250,21 @@ bool EGraph::check_invariants(std::string* why) const {
                     std::to_string(it->second) + " and " + std::to_string(id));
       }
       // 3. The hash-cons must resolve every stored node to its class.
-      auto hc = hashcons_.find(canon);
-      if (hc == hashcons_.end()) {
+      const EClassId* hc = hashcons_.find(canon);
+      if (hc == nullptr) {
         return fail("e-node missing from hashcons in class " + std::to_string(id));
       }
-      if (find(hc->second) != id) {
+      if (find(*hc) != id) {
         return fail("hashcons maps an e-node of class " + std::to_string(id) +
-                    " to class " + std::to_string(find(hc->second)));
+                    " to class " + std::to_string(find(*hc)));
       }
+    }
+  }
+  // 4. On a clean e-graph the union-find must be fully compressed (the
+  // canonical-id cache the parallel matcher relies on).
+  for (EClassId id = 0; id < parent_.size(); ++id) {
+    if (parent_[parent_[id]] != parent_[id]) {
+      return fail("union-find not compressed at id " + std::to_string(id));
     }
   }
   return true;

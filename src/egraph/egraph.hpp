@@ -6,24 +6,52 @@
 // Non-destructive rewriting over this structure is what lets E-morphic keep
 // *every* intermediate structure of the circuit alive simultaneously, in
 // contrast to ABC's destructive local rewriting (Sec. I, insight 1).
+//
+// Performance notes (see docs/egraph-internals.md for the full story):
+//  - E-nodes are interned in a flat open-addressing table (HashCons) instead
+//    of std::unordered_map: probing walks contiguous arrays, not heap nodes.
+//  - Class member lists are small-vectors (SmallVec): the common one-node
+//    class costs no heap allocation.
+//  - The union-find uses path halving, and rebuild() finishes with a full
+//    compression pass so that on a *clean* e-graph every parent pointer aims
+//    directly at its root. find() on a clean graph is therefore one load and
+//    never writes — which is what makes the read-only parallel match phase
+//    of the runner data-race free.
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "egraph/hashcons.hpp"
 #include "egraph/language.hpp"
+#include "util/small_vec.hpp"
 
 namespace emorphic {
+
+/// Back-edge from a child class to an e-node that references it.
+/// `node` is the parent e-node as it was last canonicalized; `cls` is the
+/// class that e-node belongs to.
+struct ParentEdge {
+  ENode node;
+  EClassId cls = kNoEClass;
+};
 
 /// One equivalence class: the e-nodes it contains plus parent back-edges
 /// used for congruence repair.
 struct EClass {
-  std::vector<ENode> nodes;
-  /// (parent e-node as it was added, class the parent lives in)
-  std::vector<std::pair<ENode, EClassId>> parents;
+  /// Member e-nodes, canonical and duplicate-free on a clean e-graph.
+  SmallVec<ENode, 2> nodes;
+  /// Parent back-edges consumed by EGraph::rebuild's congruence repair.
+  SmallVec<ParentEdge, 2> parents;
 };
 
+/// A congruence-closed e-graph over the Boolean language of language.hpp.
+///
+/// Mutations (`add`, `merge`) may leave the invariants temporarily broken;
+/// `rebuild()` restores them. Queries (`find`, `eclass`, `lookup`, the
+/// counters) are const and never mutate shared state, so concurrent reads of
+/// a clean e-graph are safe.
 class EGraph {
  public:
   EGraph() = default;
@@ -47,15 +75,22 @@ class EGraph {
 
   /// Restore hash-consing and congruence after a batch of merges
   /// (egg's deferred rebuild). Returns the number of congruence-induced
-  /// merges performed.
+  /// merges performed. Finishes by fully compressing the union-find, so a
+  /// clean e-graph answers find() in one load.
   std::size_t rebuild();
 
-  /// Canonical id of a class.
-  EClassId find(EClassId id) const;
+  /// Canonical id of a class. Non-mutating: on a clean (rebuilt) e-graph
+  /// this is a single load; while merges are pending it follows the
+  /// (rank-bounded) parent chain.
+  EClassId find(EClassId id) const {
+    while (parent_[id] != id) id = parent_[id];
+    return id;
+  }
 
   /// Is this id its own canonical representative (a live class)?
   bool is_root(EClassId id) const { return find(id) == id; }
 
+  /// The class `id` currently belongs to (follows the union-find).
   const EClass& eclass(EClassId id) const { return classes_[find(id)]; }
 
   /// Look up an e-node; returns kNoEClass when absent. Children are
@@ -78,7 +113,8 @@ class EGraph {
   /// True if there are pending merges not yet rebuilt.
   bool is_dirty() const { return !worklist_.empty(); }
 
-  /// Canonicalize an e-node's children in place and return it.
+  /// Canonicalize an e-node's children in place (commutative operators also
+  /// get a canonical child order) and return it.
   ENode canonicalize(ENode node) const;
 
   /// Verify the congruence/hash-consing invariants of a *clean* (rebuilt)
@@ -88,13 +124,18 @@ class EGraph {
 
  private:
   EClassId make_class(ENode node);
+  /// Path-halving find; used on the mutating paths where writes are safe.
+  EClassId find_mut(EClassId id);
   void repair(EClassId id);
+  /// Re-canonicalize and deduplicate one class's node list.
+  void dedup_nodes(EClass& cls);
 
-  std::vector<EClassId> parent_;        // union-find
+  std::vector<EClassId> parent_;        // union-find (compressed when clean)
   std::vector<std::uint32_t> rank_;
   std::vector<EClass> classes_;         // dense, indexed by id; only roots live
-  std::unordered_map<ENode, EClassId, ENodeHash> hashcons_;
-  std::vector<EClassId> worklist_;      // classes needing repair
+  HashCons hashcons_;                   // canonical e-node -> class id
+  std::vector<EClassId> worklist_;      // classes needing congruence repair
+  std::vector<EClassId> sweeplist_;     // parent classes possibly left stale
 };
 
 }  // namespace emorphic

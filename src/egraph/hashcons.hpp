@@ -1,0 +1,146 @@
+#pragma once
+// Flat open-addressing hashcons: the ENode -> EClassId interning table at the
+// heart of the e-graph.
+//
+// The seed implementation used std::unordered_map<ENode, EClassId>, which
+// pays one heap node plus at least one dependent pointer chase per probe.
+// Adds and congruence repairs hammer this table (every instantiate() during
+// rule application is one or more probes), so it is stored flat instead:
+// keys, values, and slot states live in three contiguous parallel arrays and
+// probing is a linear scan over adjacent cache lines. Erasure (needed when
+// repair re-keys a parent e-node) leaves a tombstone; tombstones are
+// reclaimed wholesale by the periodic rehash that growth triggers anyway.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "egraph/language.hpp"
+
+namespace emorphic {
+
+/// Open-addressing hash table from canonical e-nodes to e-class ids.
+/// Power-of-two capacity, linear probing, tombstone deletion.
+class HashCons {
+ public:
+  HashCons() = default;
+
+  /// Number of live (non-tombstone) entries.
+  std::size_t size() const { return size_; }
+
+  /// Pre-size the table for about `n` live entries.
+  void reserve(std::size_t n) {
+    if (n == 0) return;
+    std::size_t cap = kMinCapacity;
+    while (cap * 7 < n * 8) cap *= 2;  // keep load factor under 7/8
+    if (cap > slots()) rehash(cap);
+  }
+
+  /// Pointer to the class id mapped to `node`, or nullptr when absent.
+  const EClassId* find(const ENode& node) const {
+    if (slots() == 0) return nullptr;
+    std::size_t i = ENodeHash{}(node) & mask_;
+    while (true) {
+      switch (state_[i]) {
+        case kEmpty:
+          return nullptr;
+        case kFull:
+          if (keys_[i] == node) return &vals_[i];
+          break;
+        default:  // tombstone: keep probing
+          break;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Insert `node -> cls` if absent. Returns the mapped value slot and
+  /// whether an insertion happened (false = the node was already interned).
+  std::pair<EClassId*, bool> try_emplace(const ENode& node, EClassId cls) {
+    if ((used_ + 1) * 8 >= slots() * 7) grow();
+    std::size_t i = ENodeHash{}(node) & mask_;
+    std::size_t insert_at = kNoSlot;
+    while (true) {
+      if (state_[i] == kEmpty) {
+        if (insert_at == kNoSlot) insert_at = i;
+        break;
+      }
+      if (state_[i] == kFull) {
+        if (keys_[i] == node) return {&vals_[i], false};
+      } else if (insert_at == kNoSlot) {
+        insert_at = i;  // reuse the first tombstone on the probe path
+      }
+      i = (i + 1) & mask_;
+    }
+    if (state_[insert_at] == kEmpty) ++used_;
+    state_[insert_at] = kFull;
+    keys_[insert_at] = node;
+    vals_[insert_at] = cls;
+    ++size_;
+    return {&vals_[insert_at], true};
+  }
+
+  /// Map `node` to `cls`, overwriting any existing mapping.
+  void insert(const ENode& node, EClassId cls) {
+    auto [slot, inserted] = try_emplace(node, cls);
+    if (!inserted) *slot = cls;
+  }
+
+  /// Remove `node` if present (tombstones the slot).
+  void erase(const ENode& node) {
+    if (slots() == 0) return;
+    std::size_t i = ENodeHash{}(node) & mask_;
+    while (state_[i] != kEmpty) {
+      if (state_[i] == kFull && keys_[i] == node) {
+        state_[i] = kTombstone;
+        --size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  std::size_t slots() const { return state_.size(); }
+
+  void grow() {
+    // Rehash in place-count terms: doubling also flushes tombstones, so a
+    // table that mostly re-keys (repair-heavy workloads) stays compact.
+    std::size_t cap = slots() == 0 ? kMinCapacity : slots();
+    if (size_ * 4 >= cap * 2) cap *= 2;  // at least half full of live keys
+    rehash(cap);
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<ENode> old_keys = std::move(keys_);
+    std::vector<EClassId> old_vals = std::move(vals_);
+    std::vector<std::uint8_t> old_state = std::move(state_);
+    keys_.assign(cap, ENode{});
+    vals_.assign(cap, kNoEClass);
+    state_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+    used_ = size_;
+    for (std::size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      std::size_t j = ENodeHash{}(old_keys[i]) & mask_;
+      while (state_[j] == kFull) j = (j + 1) & mask_;
+      state_[j] = kFull;
+      keys_[j] = old_keys[i];
+      vals_[j] = old_vals[i];
+    }
+  }
+
+  std::vector<ENode> keys_;          // contiguous interned e-node storage
+  std::vector<EClassId> vals_;
+  std::vector<std::uint8_t> state_;  // kEmpty / kFull / kTombstone per slot
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;  // live entries
+  std::size_t used_ = 0;  // live entries + tombstones
+};
+
+}  // namespace emorphic

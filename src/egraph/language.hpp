@@ -6,6 +6,7 @@
 // extraction lowers everything back onto AND/NOT when rebuilding an AIG.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -15,6 +16,7 @@ namespace emorphic {
 using EClassId = std::uint32_t;
 inline constexpr EClassId kNoEClass = 0xffffffffu;
 
+/// Operators of the Boolean term language.
 enum class Op : std::uint8_t {
   kConst0,
   kConst1,
@@ -25,6 +27,16 @@ enum class Op : std::uint8_t {
   kXor,   // 2 children
 };
 
+/// Number of distinct operators (for dense per-operator tables, e.g. the
+/// runner's head-operator rule index).
+inline constexpr std::size_t kNumOps = 7;
+
+/// Dense index of an operator in [0, kNumOps).
+inline constexpr std::size_t op_index(Op op) {
+  return static_cast<std::size_t>(op);
+}
+
+/// Arity (number of children) of an operator.
 inline constexpr unsigned op_arity(Op op) {
   switch (op) {
     case Op::kConst0:
@@ -41,6 +53,13 @@ inline constexpr unsigned op_arity(Op op) {
   return 0;
 }
 
+/// Is the operator commutative? Commutative e-nodes are stored child-sorted
+/// (EGraph::canonicalize) and the matcher tries both child orders.
+inline constexpr bool op_is_commutative(Op op) {
+  return op == Op::kAnd || op == Op::kOr || op == Op::kXor;
+}
+
+/// Printable name of an operator (used by pattern/DSL printers).
 inline const char* op_name(Op op) {
   switch (op) {
     case Op::kConst0:
@@ -67,8 +86,10 @@ struct ENode {
   std::uint32_t symbol = 0;  // only meaningful for kVar
   std::array<EClassId, 2> children{{kNoEClass, kNoEClass}};
 
+  /// Number of children actually used (unused slots hold kNoEClass).
   unsigned arity() const { return op_arity(op); }
 
+  // Leaf and operator builders.
   static ENode const0() { return ENode{Op::kConst0, 0, {kNoEClass, kNoEClass}}; }
   static ENode const1() { return ENode{Op::kConst1, 0, {kNoEClass, kNoEClass}}; }
   static ENode var(std::uint32_t symbol) {
@@ -79,12 +100,15 @@ struct ENode {
   static ENode or_of(EClassId a, EClassId b) { return ENode{Op::kOr, 0, {a, b}}; }
   static ENode xor_of(EClassId a, EClassId b) { return ENode{Op::kXor, 0, {a, b}}; }
 
+  /// Structural equality (operator, symbol, child class ids).
   bool operator==(const ENode& other) const {
     return op == other.op && symbol == other.symbol &&
            children == other.children;
   }
 };
 
+/// Mixing hash over an e-node's full structural identity; shared by the
+/// e-graph hashcons and every scratch table keyed on e-nodes.
 struct ENodeHash {
   std::size_t operator()(const ENode& n) const {
     std::uint64_t h = static_cast<std::uint64_t>(n.op) * 0x9e3779b97f4a7c15ull;

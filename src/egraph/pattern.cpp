@@ -49,8 +49,11 @@ Pattern Pattern::compile(const Pat& pat, std::vector<std::string>& var_names) {
         }
       } else {
         flat.op = n.op;
+        flat.structure = 1;
         for (std::size_t i = 0; i < n.children.size(); ++i) {
           flat.children[i] = (*this)(n.children[i]);
+          flat.structure = static_cast<std::uint16_t>(
+              flat.structure + out.nodes_[flat.children[i]].structure);
         }
       }
       out.nodes_.push_back(flat);
@@ -83,13 +86,28 @@ std::string Pattern::to_string(const std::vector<std::string>& var_names) const 
   return Rec{*this, var_names}(root_);
 }
 
+void OpPresence::build(const EGraph& egraph, const std::vector<EClassId>& ids) {
+  counts_.assign(egraph.num_classes_created(), {});
+  for (EClassId id : ids) {
+    std::array<std::uint16_t, kNumOps>& counts = counts_[id];
+    for (const ENode& n : egraph.eclass(id).nodes) {
+      std::uint16_t& slot = counts[op_index(n.op)];
+      if (slot != 0xffff) ++slot;
+    }
+  }
+}
+
 namespace {
 
 class Matcher {
  public:
   Matcher(const EGraph& egraph, const Pattern& pattern, std::vector<Subst>& out,
-          std::size_t limit)
-      : egraph_(egraph), pattern_(pattern), out_(out), limit_(limit) {}
+          std::size_t limit, const OpPresence* presence)
+      : egraph_(egraph),
+        pattern_(pattern),
+        out_(out),
+        limit_(limit),
+        presence_(presence) {}
 
   void run(EClassId root) {
     Subst subst(pattern_.num_vars(), kNoEClass);
@@ -107,6 +125,13 @@ class Matcher {
     if (full()) return;
     cls = egraph_.find(cls);
     const Pattern::Node& pn = pattern_.nodes()[pi];
+    // Feasibility pruning: bail before touching the class's node list when
+    // it provably holds no e-node with the required operator. Applies at
+    // every recursion depth, which is what tames deep patterns.
+    if (!pn.is_var && presence_ != nullptr &&
+        !presence_->may_contain(cls, pn.op)) {
+      return;
+    }
     if (pn.is_var) {
       if (subst[pn.var] == kNoEClass) {
         subst[pn.var] = cls;
@@ -117,6 +142,27 @@ class Matcher {
       }
       return;
     }
+    // Push-time feasibility: a (pattern child, class) obligation is doomed
+    // when the class lacks the child's operator, or the child is a variable
+    // already bound to a different class. (Bindings made by an ancestor stay
+    // fixed for the whole subtree, so checking at push time is sound.)
+    auto feasible = [&](std::int32_t p, EClassId m) {
+      const Pattern::Node& child = pattern_.nodes()[p];
+      if (child.is_var) {
+        return subst[child.var] == kNoEClass || subst[child.var] == m;
+      }
+      return presence_ == nullptr || presence_->may_contain(m, child.op);
+    };
+    // Estimated branching factor of matching pattern child `p` against class
+    // `m`: variables bind or filter without branching; operator children
+    // branch once per matching e-node.
+    auto fanout = [&](std::int32_t p, EClassId m) -> std::size_t {
+      const Pattern::Node& child = pattern_.nodes()[p];
+      if (child.is_var) return 0;
+      if (presence_ != nullptr) return presence_->count(m, child.op);
+      return egraph_.eclass(m).nodes.size();
+    };
+
     for (const ENode& enode : egraph_.eclass(cls).nodes) {
       if (full()) return;
       if (enode.op != pn.op) continue;
@@ -124,28 +170,47 @@ class Matcher {
         case 0:
           emit_or_continue(subst);
           break;
-        case 1:
-          frames_.push_back({pn.children[0], egraph_.find(enode.children[0])});
+        case 1: {
+          EClassId c0 = egraph_.find(enode.children[0]);
+          if (!feasible(pn.children[0], c0)) break;
+          frames_.push_back({pn.children[0], c0});
           descend(subst);
           frames_.pop_back();
           break;
+        }
         case 2: {
-          bool commutative = pn.op == Op::kAnd || pn.op == Op::kOr ||
-                             pn.op == Op::kXor;
+          bool commutative = op_is_commutative(pn.op);
           EClassId c0 = egraph_.find(enode.children[0]);
           EClassId c1 = egraph_.find(enode.children[1]);
-          frames_.push_back({pn.children[0], c0});
-          frames_.push_back({pn.children[1], c1});
-          descend(subst);
-          frames_.pop_back();
-          frames_.pop_back();
-          if (commutative && c0 != c1) {
-            frames_.push_back({pn.children[0], c1});
-            frames_.push_back({pn.children[1], c0});
+          std::int32_t p0 = pn.children[0];
+          std::int32_t p1 = pn.children[1];
+          auto explore = [&](EClassId m0, EClassId m1) {
+            if (!feasible(p0, m0) || !feasible(p1, m1)) return;
+            // Join ordering: explore the child with the smaller branching
+            // factor first, so its bindings filter the expensive sibling.
+            // Ties go to the more structured pattern child, which binds its
+            // variables through structural constraints. The order depends
+            // only on the pattern and the frozen e-graph state, so match
+            // emission order stays deterministic.
+            std::size_t w0 = fanout(p0, m0);
+            std::size_t w1 = fanout(p1, m1);
+            bool first0 = w0 != w1 ? w0 < w1
+                                   : pattern_.nodes()[p0].structure >=
+                                         pattern_.nodes()[p1].structure;
+            // Frames pop LIFO: push the second obligation first.
+            if (first0) {
+              frames_.push_back({p1, m1});
+              frames_.push_back({p0, m0});
+            } else {
+              frames_.push_back({p0, m0});
+              frames_.push_back({p1, m1});
+            }
             descend(subst);
             frames_.pop_back();
             frames_.pop_back();
-          }
+          };
+          explore(c0, c1);
+          if (commutative && c0 != c1) explore(c1, c0);
           break;
         }
       }
@@ -176,14 +241,16 @@ class Matcher {
   const Pattern& pattern_;
   std::vector<Subst>& out_;
   std::size_t limit_;
+  const OpPresence* presence_;
   std::vector<Frame> frames_;
 };
 
 }  // namespace
 
 void match_in_class(const EGraph& egraph, const Pattern& pattern, EClassId root,
-                    std::vector<Subst>& out, std::size_t limit) {
-  Matcher(egraph, pattern, out, limit).run(root);
+                    std::vector<Subst>& out, std::size_t limit,
+                    const OpPresence* presence) {
+  Matcher(egraph, pattern, out, limit, presence).run(root);
 }
 
 EClassId instantiate(EGraph& egraph, const Pattern& pattern, const Subst& subst) {

@@ -1,5 +1,12 @@
 #include "egraph/runner.hpp"
 
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace emorphic {
@@ -21,19 +28,72 @@ const char* stop_reason_name(StopReason reason) {
 }
 
 RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
-                           const RunnerLimits& limits) {
-  return run_rewriting(egraph, rules, limits, RunnerHooks{});
+                           const RunnerParams& params) {
+  return run_rewriting(egraph, rules, params, RunnerHooks{});
 }
 
+namespace {
+
+/// One rule's matches for one iteration: (matched class, substitution).
+using MatchList = std::vector<std::pair<EClassId, Subst>>;
+
+/// Head-operator index: for each operator, the canonical classes containing
+/// at least one e-node with that operator, plus the per-class presence masks
+/// the matcher prunes with. Built once per iteration in one O(total e-nodes)
+/// pass; rules whose LHS root is an operator then only visit their candidate
+/// bucket instead of every class.
+struct RuleIndex {
+  std::array<std::vector<EClassId>, kNumOps> by_op;
+
+  void build(const OpPresence& presence, const std::vector<EClassId>& ids) {
+    for (auto& bucket : by_op) bucket.clear();
+    for (EClassId id : ids) {
+      for (std::size_t op = 0; op < kNumOps; ++op) {
+        if (presence.count(id, static_cast<Op>(op)) != 0) {
+          by_op[op].push_back(id);
+        }
+      }
+    }
+  }
+};
+
+/// Serial reference path: match `pattern` against `candidates` in order,
+/// stopping once `limit` substitutions are collected.
+void match_serial(const EGraph& egraph, const Pattern& pattern,
+                  const std::vector<EClassId>& candidates, std::size_t limit,
+                  const OpPresence* presence, MatchList& out) {
+  std::vector<Subst> substs;
+  for (EClassId id : candidates) {
+    substs.clear();
+    match_in_class(egraph, pattern, id, substs, limit - out.size(), presence);
+    for (Subst& s : substs) out.emplace_back(id, std::move(s));
+    if (out.size() >= limit) break;
+  }
+}
+
+}  // namespace
+
 RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
-                           const RunnerLimits& limits,
+                           const RunnerParams& params,
                            const RunnerHooks& hooks) {
   RunnerReport report;
   report.rule_matches.assign(rules.size(), 0);
   report.rule_applications.assign(rules.size(), 0);
   Timer total;
 
-  for (std::size_t iter = 0; iter < limits.max_iterations; ++iter) {
+  // The match phase requires a clean e-graph (read-only concurrent finds);
+  // a no-op when the caller already rebuilt.
+  egraph.rebuild();
+
+  unsigned threads = params.match_threads != 0
+                         ? params.match_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+
+  RuleIndex index;
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
     Timer iter_timer;
     IterationStats stats;
     std::size_t enodes_before = egraph.num_enodes();
@@ -41,23 +101,85 @@ RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
 
     // Phase 1: search. Matches are gathered against a frozen e-graph so the
     // rule application order cannot influence what is found (the
-    // phase-ordering freedom equality saturation is prized for).
+    // phase-ordering freedom equality saturation is prized for). The match
+    // list per rule is the first `max_matches_per_rule` substitutions in
+    // class order — identical for the serial and threaded paths.
+    // The per-class operator statistics serve the matcher's pruning and join
+    // ordering in *both* modes (so emission order — and thereby the capped
+    // match prefix — is identical); use_rule_index only controls whether
+    // rules restrict their root candidates to the per-operator buckets.
     std::vector<EClassId> ids = egraph.class_ids();
-    std::vector<std::vector<std::pair<EClassId, Subst>>> all_matches(rules.size());
-    for (std::size_t r = 0; r < rules.size(); ++r) {
-      std::vector<Subst> substs;
-      for (EClassId id : ids) {
-        substs.clear();
-        match_in_class(egraph, rules[r].lhs, id, substs,
-                       limits.max_matches_per_rule -
-                           std::min(limits.max_matches_per_rule,
-                                    all_matches[r].size()));
-        for (auto& s : substs) all_matches[r].emplace_back(id, std::move(s));
-        if (all_matches[r].size() >= limits.max_matches_per_rule) break;
+    OpPresence op_stats;
+    op_stats.build(egraph, ids);
+    const OpPresence* presence = &op_stats;
+    if (params.use_rule_index) index.build(op_stats, ids);
+
+    auto candidates_for = [&](const Pattern& lhs) -> const std::vector<EClassId>& {
+      if (params.use_rule_index) {
+        if (std::optional<Op> op = lhs.root_op()) {
+          return index.by_op[op_index(*op)];
+        }
       }
+      return ids;
+    };
+
+    // The time limit is polled between iterations only (never mid-search):
+    // both the serial and the threaded path always gather the full capped
+    // match set, which is what keeps results independent of match_threads.
+    std::vector<MatchList> all_matches(rules.size());
+    if (!pool.has_value()) {
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        match_serial(egraph, rules[r].lhs, candidates_for(rules[r].lhs),
+                     params.max_matches_per_rule, presence, all_matches[r]);
+      }
+    } else {
+      // Fan (rule, class-range) shards over the pool. Shard results are
+      // concatenated in candidate order and truncated to the per-rule cap,
+      // reproducing the serial prefix exactly.
+      struct Shard {
+        std::size_t rule;
+        std::size_t begin;
+        std::size_t end;
+        MatchList matches;
+      };
+      std::vector<Shard> shards;
+      for (std::size_t r = 0; r < rules.size(); ++r) {
+        const std::vector<EClassId>& candidates =
+            candidates_for(rules[r].lhs);
+        std::size_t span =
+            (candidates.size() + threads - 1) / threads;  // >= 1 per shard
+        for (std::size_t begin = 0; begin < candidates.size(); begin += span) {
+          shards.push_back(
+              {r, begin, std::min(begin + span, candidates.size()), {}});
+        }
+      }
+      pool->parallel_for(shards.size(), [&](std::size_t i) {
+        Shard& shard = shards[i];
+        const Pattern& lhs = rules[shard.rule].lhs;
+        const std::vector<EClassId>& candidates = candidates_for(lhs);
+        std::vector<Subst> substs;
+        for (std::size_t c = shard.begin; c < shard.end; ++c) {
+          substs.clear();
+          match_in_class(egraph, lhs, candidates[c], substs,
+                         params.max_matches_per_rule - shard.matches.size(),
+                         presence);
+          for (Subst& s : substs) {
+            shard.matches.emplace_back(candidates[c], std::move(s));
+          }
+          if (shard.matches.size() >= params.max_matches_per_rule) break;
+        }
+      });
+      for (Shard& shard : shards) {
+        MatchList& into = all_matches[shard.rule];
+        for (auto& match : shard.matches) {
+          if (into.size() >= params.max_matches_per_rule) break;
+          into.push_back(std::move(match));
+        }
+      }
+    }
+    for (std::size_t r = 0; r < rules.size(); ++r) {
       stats.matches += all_matches[r].size();
       report.rule_matches[r] += all_matches[r].size();
-      if (total.seconds() > limits.time_limit_s) break;
     }
 
     // Phase 2: apply. Instantiating the RHS only ever adds information.
@@ -69,12 +191,12 @@ RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
           ++stats.applied;
           ++report.rule_applications[r];
         }
-        if (egraph.num_classes_created() > limits.max_enodes) break;
+        if (egraph.num_classes_created() > params.max_enodes) break;
       }
-      if (egraph.num_classes_created() > limits.max_enodes) break;
+      if (egraph.num_classes_created() > params.max_enodes) break;
     }
 
-    // Phase 3: rebuild (deferred congruence restoration).
+    // Phase 3: rebuild (one deferred congruence restoration per iteration).
     egraph.rebuild();
 
     stats.enodes_after = egraph.num_enodes();
@@ -86,11 +208,11 @@ RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
       report.stop_reason = StopReason::kCancelled;
       break;
     }
-    if (stats.enodes_after >= limits.max_enodes) {
+    if (stats.enodes_after >= params.max_enodes) {
       report.stop_reason = StopReason::kNodeLimit;
       break;
     }
-    if (total.seconds() > limits.time_limit_s) {
+    if (total.seconds() > params.time_limit_s) {
       report.stop_reason = StopReason::kTimeLimit;
       break;
     }

@@ -7,6 +7,16 @@
 // a handful of non-destructive rounds already multiplies the number of
 // equivalence classes far beyond what ABC's `dch` choices record, while
 // keeping node counts and runtime in check (Sec. I, insight 1).
+//
+// Each iteration is three phases:
+//   1. search — e-matching against a frozen e-graph. Rules are indexed by
+//      their head operator, so a rule only visits classes that contain at
+//      least one e-node with that operator; the search is read-only and can
+//      be threaded across e-classes (`RunnerParams::match_threads`).
+//   2. apply — all collected matches are instantiated and merged serially.
+//   3. rebuild — one deferred congruence restoration for the whole batch.
+// The match lists are identical whatever the thread count and whether the
+// index is on, so saturation results are bit-for-bit reproducible.
 
 #include <cstddef>
 #include <functional>
@@ -17,15 +27,33 @@
 
 namespace emorphic {
 
-struct RunnerLimits {
+/// Resource limits and search configuration for one saturation run.
+struct RunnerParams {
+  /// Upper bound on search/apply/rebuild iterations.
   std::size_t max_iterations = 5;
+  /// Stop once the e-graph holds this many e-nodes (the paper's memory cap).
   std::size_t max_enodes = 250000;
+  /// Wall-clock budget for the whole run, in seconds. Polled between
+  /// iterations (an over-budget iteration finishes first), so hitting it
+  /// does not perturb the per-iteration results.
   double time_limit_s = 30.0;
   /// Cap on matches gathered per rule per iteration: keeps pathological
   /// rules (associativity on deep chains) from starving the others.
   std::size_t max_matches_per_rule = 20000;
+  /// Worker threads for the read-only match phase: 1 = serial (default),
+  /// 0 = hardware concurrency. Results are independent of this setting.
+  unsigned match_threads = 1;
+  /// Consult the head-operator rule index so each rule only visits candidate
+  /// classes. Off = scan every class per rule (the pre-index behavior; kept
+  /// as a correctness oracle for tests and benches).
+  bool use_rule_index = true;
 };
 
+/// Historical name of RunnerParams (the struct originally carried only the
+/// resource limits).
+using RunnerLimits = RunnerParams;
+
+/// Why a saturation run ended.
 enum class StopReason {
   kSaturated,
   kIterLimit,
@@ -34,8 +62,10 @@ enum class StopReason {
   kCancelled,  // an iteration hook asked to stop (see RunnerHooks)
 };
 
+/// Printable name of a StopReason.
 const char* stop_reason_name(StopReason reason);
 
+/// Per-iteration statistics reported to RunnerHooks::on_iteration.
 struct IterationStats {
   std::size_t matches = 0;       // substitutions found
   std::size_t applied = 0;       // merges that changed the e-graph
@@ -44,6 +74,7 @@ struct IterationStats {
   double seconds = 0.0;
 };
 
+/// Everything a finished saturation run reports.
 struct RunnerReport {
   StopReason stop_reason = StopReason::kSaturated;
   std::vector<IterationStats> iterations;
@@ -64,11 +95,11 @@ struct RunnerHooks {
 
 /// Run equality saturation over `egraph` with the given rules and limits.
 RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
-                           const RunnerLimits& limits);
+                           const RunnerParams& params);
 
 /// Overload with progress hooks.
 RunnerReport run_rewriting(EGraph& egraph, const std::vector<Rewrite>& rules,
-                           const RunnerLimits& limits,
+                           const RunnerParams& params,
                            const RunnerHooks& hooks);
 
 }  // namespace emorphic

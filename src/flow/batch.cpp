@@ -38,6 +38,9 @@ BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
 
   FlowParams shared = params;
   if (batch.sa_threads > 0) shared.sa.num_threads = batch.sa_threads;
+  if (batch.match_threads > 0) {
+    shared.rewrite.match_threads = batch.match_threads;
+  }
 
   unsigned workers = batch.num_threads;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());

@@ -27,6 +27,10 @@ struct BatchParams {
   /// pipeline's setting. This is the explicit home of the thread bump the
   /// optimize() facade used to apply silently in runtime-prioritized mode.
   unsigned sa_threads = 0;
+  /// Override of FlowParams.rewrite.match_threads per circuit; 0 keeps the
+  /// pipeline's setting. Like SA threads, inner match threads multiply with
+  /// num_threads, so large batches usually keep this at 1.
+  unsigned match_threads = 0;
   /// Wall-clock budget per circuit; 0 = unlimited. Over-budget circuits
   /// stop between stages and report FlowResult::cancelled.
   double time_budget_s = 0.0;

@@ -58,7 +58,11 @@ class MapQorEvaluator : public QorEvaluator {
   MapperParams params_;
 };
 
+/// Shared configuration for one flow run; defaults mirror the paper's
+/// Sec. IV-A settings at laptop scale.
 struct FlowParams {
+  /// Standard-cell library used by mapping stages and the default SA
+  /// cost model.
   const CellLibrary* library = &CellLibrary::asap7_like();
   unsigned rounds = 4;            // total optimization rounds
   /// Area term in the scalar flow cost (delay + weight*area): delay stays
@@ -66,12 +70,15 @@ struct FlowParams {
   double area_weight = 0.5;
   SopBalanceParams sop_balance;   // K=6, C=8
   MapperParams mapping;           // final map effort
-  RunnerLimits rewrite;           // e-graph rewriting limits (5 iterations)
+  /// E-graph rewriting configuration (iteration/node caps, rule indexing,
+  /// match_threads for the parallel match phase).
+  RunnerParams rewrite;
   SaParams sa;                    // SA extraction parameters
   bool verify = true;             // cec the result against the input
   CecParams cec_params;
 };
 
+/// Quality-of-result summary of a finished flow.
 struct FlowQor {
   double area = 0.0;       // µm²
   double delay = 0.0;      // ps
@@ -86,6 +93,7 @@ struct StageTelemetry {
   double seconds = 0.0;
 };
 
+/// Per-stage wall-clock telemetry of one pipeline run.
 struct FlowTelemetry {
   std::vector<StageTelemetry> stages;  // in execution order
   double total_seconds = 0.0;          // whole pipeline, including observers
@@ -217,7 +225,9 @@ struct FlowContext {
 class Stage {
  public:
   virtual ~Stage() = default;
+  /// Stable display/registry name (also the telemetry key).
   virtual const char* name() const = 0;
+  /// Execute the stage: read/write ctx's working state and result fields.
   virtual void run(FlowContext& ctx) const = 0;
 };
 
@@ -314,18 +324,24 @@ std::vector<std::string> registered_stage_names();
 
 // --- the pipeline -----------------------------------------------------------
 
+/// An ordered list of stages; cheap to copy, safe to run concurrently on
+/// different contexts (stages are stateless by contract).
 class Pipeline {
  public:
   Pipeline() = default;
 
+  /// Append a stage instance; returns *this for chaining.
   Pipeline& add(StagePtr stage);
   /// Append a stage by registry name (see register_stage).
   Pipeline& add(const std::string& registered_name);
 
+  /// Number of stages.
   std::size_t size() const { return stages_.size(); }
+  /// The stages, in execution order.
   const std::vector<std::shared_ptr<const Stage>>& stages() const {
     return stages_;
   }
+  /// Stage::name() of every stage, in execution order.
   std::vector<std::string> stage_names() const;
 
   /// Run every stage in order on a caller-prepared context (full control:

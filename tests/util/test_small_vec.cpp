@@ -1,0 +1,101 @@
+#include "util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace emorphic {
+namespace {
+
+TEST(SmallVec, InlineThenSpill) {
+  SmallVec<std::uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);               // spills to the heap
+  EXPECT_GT(v.capacity(), 4u);
+  ASSERT_EQ(v.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, GrowthPreservesContents) {
+  SmallVec<std::uint64_t, 2> v;
+  for (std::uint64_t i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i * 3);
+}
+
+TEST(SmallVec, CopyAndMove) {
+  SmallVec<int, 2> small;
+  small.push_back(1);
+  small.push_back(2);
+  SmallVec<int, 2> big;
+  for (int i = 0; i < 100; ++i) big.push_back(i);
+
+  SmallVec<int, 2> small_copy = small;
+  SmallVec<int, 2> big_copy = big;
+  EXPECT_EQ(small_copy.size(), 2u);
+  EXPECT_EQ(small_copy[1], 2);
+  EXPECT_EQ(big_copy.size(), 100u);
+  EXPECT_EQ(big_copy[99], 99);
+
+  SmallVec<int, 2> small_moved = std::move(small);
+  SmallVec<int, 2> big_moved = std::move(big);
+  EXPECT_EQ(small_moved.size(), 2u);
+  EXPECT_EQ(big_moved.size(), 100u);
+  EXPECT_EQ(big_moved[42], 42);
+  EXPECT_TRUE(small.empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(big.empty());    // NOLINT(bugprone-use-after-move)
+
+  big_copy = small_copy;  // shrink via copy-assign
+  EXPECT_EQ(big_copy.size(), 2u);
+  small_copy = std::move(big_moved);
+  EXPECT_EQ(small_copy.size(), 100u);
+}
+
+TEST(SmallVec, AppendAndIteration) {
+  std::vector<int> source{1, 2, 3, 4, 5, 6, 7};
+  SmallVec<int, 2> v;
+  v.append(source.data(), source.data() + source.size());
+  EXPECT_EQ(v.size(), 7u);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 28);
+}
+
+TEST(SmallVec, ClearAndShrinkReturnInline) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.shrink_to_fit();
+  EXPECT_EQ(v.capacity(), 2u);
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+TEST(SmallVec, AtThrowsOutOfRange) {
+  SmallVec<int, 2> v;
+  v.push_back(1);
+  EXPECT_EQ(v.at(0), 1);
+  EXPECT_THROW(v.at(1), std::out_of_range);
+}
+
+TEST(SmallVec, EmplaceBackConstructsAggregates) {
+  struct Pairish {
+    int a;
+    int b;
+  };
+  SmallVec<Pairish, 2> v;
+  v.emplace_back(1, 2);
+  v.emplace_back(3, 4);
+  v.emplace_back(5, 6);
+  EXPECT_EQ(v[2].a, 5);
+  EXPECT_EQ(v[2].b, 6);
+}
+
+}  // namespace
+}  // namespace emorphic
