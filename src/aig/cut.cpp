@@ -1,7 +1,8 @@
 #include "aig/cut.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace emorphic {
 
@@ -14,20 +15,36 @@ bool Cut::subset_of(const Cut& other) const {
   return true;
 }
 
-CutManager::CutManager(const Aig& aig, const CutParams& params)
-    : aig_(aig), params_(params) {
-  assert(params_.cut_size >= 2 && params_.cut_size <= kMaxCutSize);
-  level_ = aig_.levels();
-  cuts_.resize(aig_.num_nodes());
+CutManager::CutManager(const Aig& aig, const CutParams& params, CutArena* arena)
+    : aig_(aig), params_(params), arena_(arena != nullptr ? arena : &own_) {
+  // A 1-feasible cut cannot cover an AND node and an oversize cut overflows
+  // Cut::leaves; both are hard errors in every build mode, not just asserts.
+  if (params_.cut_size < 2 || params_.cut_size > kMaxCutSize) {
+    throw std::invalid_argument(
+        "CutManager: cut_size must be in [2, " + std::to_string(kMaxCutSize) +
+        "], got " + std::to_string(params_.cut_size));
+  }
+  const std::size_t n = aig_.num_nodes();
+  // Recycle the arena's vectors: grow if needed, clear (keeping capacity)
+  // the slots this AIG will use.
+  if (arena_->slots.size() < n) arena_->slots.resize(n);
+  for (std::size_t v = 0; v < n; ++v) arena_->slots[v].clear();
+  arena_->levels.assign(n, 0);
+  for (Var v = 1; v < aig_.num_nodes(); ++v) {
+    if (!aig_.is_and(v)) continue;
+    arena_->levels[v] = 1 + std::max(arena_->levels[lit_var(aig_.fanin0(v))],
+                                     arena_->levels[lit_var(aig_.fanin1(v))]);
+  }
+
   // Constant node: a single empty cut whose function is constant 0.
-  cuts_[0].push_back(Cut{});
+  arena_->slots[0].push_back(Cut{});
   for (Var v = 1; v < aig_.num_nodes(); ++v) {
     if (aig_.is_pi(v)) {
       Cut trivial;
       trivial.size = 1;
       trivial.leaves[0] = v;
       trivial.tt = tt_var(0, 1);
-      cuts_[v].push_back(trivial);
+      arena_->slots[v].push_back(trivial);
     } else {
       compute(v);
     }
@@ -77,15 +94,16 @@ bool CutManager::merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b,
 void CutManager::compute(Var v) {
   const Lit f0 = aig_.fanin0(v);
   const Lit f1 = aig_.fanin1(v);
-  const auto& cuts0 = cuts_[lit_var(f0)];
-  const auto& cuts1 = cuts_[lit_var(f1)];
+  const auto& cuts0 = arena_->slots[lit_var(f0)];
+  const auto& cuts1 = arena_->slots[lit_var(f1)];
 
-  std::vector<Cut> result;
+  std::vector<Cut>& result = arena_->scratch;
+  result.clear();
   result.reserve(params_.num_cuts + 1);
 
   auto average_leaf_level = [&](const Cut& c) {
     std::uint64_t sum = 0;
-    for (unsigned i = 0; i < c.size; ++i) sum += level_[c.leaves[i]];
+    for (unsigned i = 0; i < c.size; ++i) sum += arena_->levels[c.leaves[i]];
     return c.size == 0 ? 0.0 : static_cast<double>(sum) / c.size;
   };
 
@@ -122,7 +140,8 @@ void CutManager::compute(Var v) {
   trivial.tt = tt_var(0, 1);
   result.push_back(trivial);
 
-  cuts_[v] = std::move(result);
+  // Copy-assign into the slot: keeps the slot's capacity across arena reuse.
+  arena_->slots[v].assign(result.begin(), result.end());
 }
 
 }  // namespace emorphic

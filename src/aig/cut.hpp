@@ -34,13 +34,31 @@ struct CutParams {
   unsigned num_cuts = 8;   // C: priority cuts kept per node (plus trivial)
 };
 
+/// Reusable cut storage. Hot paths (the SA cost evaluator) construct one
+/// CutManager per candidate AIG; routing them through a caller-owned arena
+/// keeps the per-node vectors' capacity alive across candidates so repeated
+/// enumerations stop churning the allocator. Not thread-safe: one arena per
+/// thread.
+struct CutArena {
+  std::vector<std::vector<Cut>> slots;   // per-node cut lists
+  std::vector<Cut> scratch;              // merge workspace for one node
+  std::vector<std::uint32_t> levels;     // cut priority ordering
+};
+
 /// Enumerates priority cuts bottom-up for every node of an AIG.
+/// Throws std::invalid_argument unless 2 <= cut_size <= kMaxCutSize.
 class CutManager {
  public:
-  CutManager(const Aig& aig, const CutParams& params);
+  CutManager(const Aig& aig, const CutParams& params,
+             CutArena* arena = nullptr);
+
+  // arena_ may point at the own_ member, so compiler-generated copies/moves
+  // would dangle.
+  CutManager(const CutManager&) = delete;
+  CutManager& operator=(const CutManager&) = delete;
 
   /// Cuts of node `v`; the trivial cut is always last.
-  const std::vector<Cut>& cuts(Var v) const { return cuts_[v]; }
+  const std::vector<Cut>& cuts(Var v) const { return arena_->slots[v]; }
 
   const Aig& aig() const { return aig_; }
   const CutParams& params() const { return params_; }
@@ -51,8 +69,8 @@ class CutManager {
 
   const Aig& aig_;
   CutParams params_;
-  std::vector<std::vector<Cut>> cuts_;
-  std::vector<std::uint32_t> level_;  // used for cut priority ordering
+  CutArena own_;      // used when no external arena is provided
+  CutArena* arena_;   // &own_ or the caller's reusable arena
 };
 
 }  // namespace emorphic

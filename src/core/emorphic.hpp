@@ -10,6 +10,7 @@
 
 #include "aig/aig.hpp"
 #include "aig/aig_io.hpp"
+#include "aig/signature.hpp"
 #include "aig/sim.hpp"
 #include "benchgen/arith.hpp"
 #include "benchgen/control.hpp"

@@ -3,30 +3,66 @@
 #include <cmath>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
+#include "aig/signature.hpp"
 #include "util/timer.hpp"
 
 namespace emorphic {
 
 namespace {
 
+/// Per-run memo of evaluator results keyed by the candidate AIG's
+/// structural signature, shared by every chain (the chains revisit each
+/// other's neighborhoods near convergence). Thread-safe; the evaluator is
+/// deterministic, so a cached Qor is bit-identical to a recomputed one and
+/// memoization never alters the annealing trajectory.
+class QorMemo {
+ public:
+  bool lookup(std::uint64_t key, Qor* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void insert(std::uint64_t key, const Qor& qor) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, qor);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Qor> map_;
+};
+
 struct ChainResult {
   Extraction solution;
   Qor qor;
   double cost = kInfCost;
   std::size_t evaluations = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   ExtractStats stats;
   std::vector<SaTracePoint> trace;
 };
 
 /// The paper's cooling schedule (Sec. IV-A). `n` is 1-based; `delta` is the
-/// |new_cost - old_cost| observed in the last move of the iteration.
+/// |new_cost - old_cost| observed in the last move of the iteration: the
+/// divisor splits into n * 10000 for n = 2, 3 and plain n for the final
+/// iteration.
 double next_temperature(double t, unsigned n, double delta) {
   if (n <= 1) return t;
+  // Degenerate-schedule guard: with no observed move delta — e.g.
+  // moves_per_iteration == 0, or the last move left the cost unchanged —
+  // there is no cooling signal; keep the temperature instead of collapsing
+  // it to the 1e-6 floor.
+  if (delta <= 0.0) return t;
   double scaled = delta / (n < 4 ? (static_cast<double>(n) * 10000.0)
                                  : static_cast<double>(n));
   double next = t * scaled;
-  // Keep the temperature sane when |delta| is zero or enormous.
+  // Keep the temperature sane when |delta| is enormous or denormal.
   if (!(next > 0.0)) next = 1e-6;
   return std::min(next, t);
 }
@@ -35,7 +71,8 @@ ChainResult run_chain(unsigned thread_index, const EGraph& egraph,
                       const std::vector<SerializedRoot>& roots,
                       const std::vector<std::string>& pi_names,
                       const QorEvaluator& evaluator, const SaParams& params,
-                      const SaHooks& hooks, std::mutex& hook_mutex) {
+                      const SaHooks& hooks, std::mutex& hook_mutex,
+                      QorMemo* memo) {
   ChainResult result;
   Rng rng(params.seed * 0x9e3779b97f4a7c15ull + thread_index + 1);
 
@@ -63,8 +100,24 @@ ChainResult run_chain(unsigned thread_index, const EGraph& egraph,
       break;
   }
 
+  bool last_was_hit = false;
   auto evaluate = [&](const Extraction& sol) {
     Aig aig = extraction_to_aig(egraph, sol, roots, pi_names).cleanup();
+    last_was_hit = false;
+    if (memo != nullptr) {
+      std::uint64_t key = structural_signature(aig);
+      Qor cached;
+      if (memo->lookup(key, &cached)) {
+        ++result.cache_hits;
+        last_was_hit = true;
+        return cached;
+      }
+      Qor qor = evaluator.evaluate(aig);
+      ++result.evaluations;
+      ++result.cache_misses;
+      memo->insert(key, qor);
+      return qor;
+    }
     ++result.evaluations;
     return evaluator.evaluate(aig);
   };
@@ -107,8 +160,8 @@ ChainResult run_chain(unsigned thread_index, const EGraph& egraph,
         accept = rng.next_double() < std::exp(-delta / temperature);
       }
 
-      SaTracePoint point{thread_index, iter,         move,  temperature,
-                         cost,         current_cost, accept};
+      SaTracePoint point{thread_index, iter,         move,   temperature,
+                         cost,         current_cost, accept, last_was_hit};
       result.trace.push_back(point);
       if (hooks.on_move) {
         std::lock_guard<std::mutex> lock(hook_mutex);
@@ -147,6 +200,9 @@ SaResult sa_extract(const EGraph& egraph,
   Timer timer;
   unsigned num_threads = std::max(1u, params.num_threads);
 
+  QorMemo memo;
+  QorMemo* memo_ptr = params.memoize_qor ? &memo : nullptr;
+
   std::vector<ChainResult> chains(num_threads);
   {
     std::mutex hook_mutex;
@@ -155,7 +211,7 @@ SaResult sa_extract(const EGraph& egraph,
     for (unsigned t = 0; t < num_threads; ++t) {
       threads.emplace_back([&, t] {
         chains[t] = run_chain(t, egraph, roots, pi_names, evaluator, params,
-                              hooks, hook_mutex);
+                              hooks, hook_mutex, memo_ptr);
       });
     }
     for (auto& th : threads) th.join();
@@ -165,6 +221,8 @@ SaResult sa_extract(const EGraph& egraph,
   result.best_cost = kInfCost;
   for (auto& chain : chains) {
     result.evaluations += chain.evaluations;
+    result.qor_cache_hits += chain.cache_hits;
+    result.qor_cache_misses += chain.cache_misses;
     result.extract_stats.enodes_visited += chain.stats.enodes_visited;
     result.extract_stats.enodes_skipped += chain.stats.enodes_skipped;
     result.extract_stats.passes += chain.stats.passes;
@@ -183,8 +241,15 @@ SaResult sa_extract(const EGraph& egraph,
       dag_refine(egraph, result.best, CostModel{CostKind::kSize}, roots);
   Aig polished_aig =
       extraction_to_aig(egraph, polished, roots, pi_names).cleanup();
-  Qor polished_qor = evaluator.evaluate(polished_aig);
-  ++result.evaluations;
+  Qor polished_qor;
+  if (memo_ptr != nullptr &&
+      memo_ptr->lookup(structural_signature(polished_aig), &polished_qor)) {
+    ++result.qor_cache_hits;
+  } else {
+    polished_qor = evaluator.evaluate(polished_aig);
+    ++result.evaluations;
+    if (memo_ptr != nullptr) ++result.qor_cache_misses;
+  }
   double polished_cost = evaluator.cost(polished_qor);
   if (polished_cost < result.best_cost) {
     result.best = std::move(polished);

@@ -61,6 +61,12 @@ struct SaParams {
   unsigned num_threads = 4;         // paper: 4 (quality) / 6 (ML) threads
   std::uint64_t seed = 1;
   bool prune = true;                // solution-space pruning (Fig. 6)
+  /// Memoize evaluator results in a per-run cache keyed by the candidate's
+  /// structural signature (aig/signature.hpp), shared across all chains:
+  /// re-visited extractions — common near convergence — skip mapping
+  /// entirely. Never changes the result (the cached Qor is the evaluator's
+  /// own earlier answer); hit/miss counters land in SaResult.
+  bool memoize_qor = true;
   /// Proxy cost used by the neighbor-generation pass (depth tracks delay).
   CostModel proxy_cost{CostKind::kDepth};
 };
@@ -74,13 +80,18 @@ struct SaTracePoint {
   double candidate_cost = 0.0;
   double current_cost = 0.0;
   bool accepted = false;
+  /// The candidate's Qor came from the per-run memo, not the evaluator.
+  bool cache_hit = false;
 };
 
 struct SaResult {
   Extraction best;
   Qor best_qor;
   double best_cost = 0.0;
-  std::size_t evaluations = 0;   // QoR evaluator calls
+  std::size_t evaluations = 0;   // QoR evaluator calls (memo misses)
+  /// Qor-memo telemetry (zero when SaParams::memoize_qor is off).
+  std::size_t qor_cache_hits = 0;
+  std::size_t qor_cache_misses = 0;
   double seconds = 0.0;
   ExtractStats extract_stats;    // summed over all neighbor generations
   std::vector<SaTracePoint> trace;

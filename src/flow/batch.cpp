@@ -42,6 +42,10 @@ BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
     shared.rewrite.match_threads = batch.match_threads;
   }
 
+  // One thread-safe matcher serves every worker: the library is canonized
+  // once per batch and the match cache warms across circuits.
+  auto matcher = std::make_shared<const Matcher>(*shared.library);
+
   unsigned workers = batch.num_threads;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
   workers = static_cast<unsigned>(
@@ -51,6 +55,7 @@ BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
   pool.parallel_for(inputs.size(), [&](std::size_t i) {
     FlowContext ctx;
     ctx.params = shared;
+    ctx.matcher = matcher;
     ctx.input = inputs[i];
     ctx.seed = circuit_seed(batch.base_seed, i);
     ctx.observer = observer;

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -56,9 +57,10 @@ void ResynRoundsStage::run(FlowContext& ctx) const {
   // ABC's script tolerates per-round regressions because `dch` keeps the
   // previous structure alive as choices; without choices, gating plays that
   // role and keeps this a monotone, competitive delay flow.
+  const Matcher& matcher = *ctx.shared_matcher();
   Aig best = strash(ctx.current);
-  MappedNetlist best_netlist = map_to_cells(best, *params.library,
-                                            params.mapping);
+  MappedNetlist best_netlist =
+      map_to_cells(best, matcher, params.mapping, &ctx.mapper_workspace);
   double best_delay = best_netlist.delay();
   double best_area = best_netlist.area();
 
@@ -66,7 +68,8 @@ void ResynRoundsStage::run(FlowContext& ctx) const {
   for (unsigned round = 0; round < rounds; ++round) {
     if (ctx.should_stop()) break;
     cur = optimize_round(cur, params, round);
-    MappedNetlist mapped = map_to_cells(cur, *params.library, params.mapping);
+    MappedNetlist mapped =
+        map_to_cells(cur, matcher, params.mapping, &ctx.mapper_workspace);
     double delay = mapped.delay();
     double area = mapped.area();
     if (flow_cost(params, delay, area) <
@@ -131,9 +134,15 @@ void SaExtractStage::run(FlowContext& ctx) const {
         "SaExtract stage needs an e-graph: add EgraphConversion first");
   }
   const FlowParams& params = ctx.params;
-  MapQorEvaluator default_evaluator(*params.library, params.area_weight);
-  const QorEvaluator* evaluator =
-      ctx.evaluator != nullptr ? ctx.evaluator : &default_evaluator;
+  // The default evaluator shares the context's matcher: SA chains then hit
+  // a warm match cache instead of re-canonizing the library per evaluation.
+  // Built only when no custom evaluator overrides it.
+  std::optional<MapQorEvaluator> default_evaluator;
+  const QorEvaluator* evaluator = ctx.evaluator;
+  if (evaluator == nullptr) {
+    default_evaluator.emplace(ctx.shared_matcher(), params.area_weight);
+    evaluator = &*default_evaluator;
+  }
 
   SaParams sa_params = params.sa;
   if (ctx.seed != 0) sa_params.seed = ctx.seed;
@@ -154,16 +163,17 @@ void SaExtractStage::run(FlowContext& ctx) const {
 
 void TechMapStage::run(FlowContext& ctx) const {
   const FlowParams& params = ctx.params;
+  const Matcher& matcher = *ctx.shared_matcher();
   if (resynth_gate_) {
     // The E-morphic final round: SA already optimized the mapped delay of
     // ctx.current, so one more resynthesis is gated like the earlier rounds.
     Aig chosen_st = strash(ctx.current);
     MappedNetlist mapped =
-        map_to_cells(chosen_st, *params.library, params.mapping);
+        map_to_cells(chosen_st, matcher, params.mapping, &ctx.mapper_workspace);
     Aig final_aig = chosen_st;
     Aig resynth = dch_substitute(chosen_st);
     MappedNetlist remapped =
-        map_to_cells(resynth, *params.library, params.mapping);
+        map_to_cells(resynth, matcher, params.mapping, &ctx.mapper_workspace);
     if (flow_cost(params, remapped.delay(), remapped.area()) <
         flow_cost(params, mapped.delay(), mapped.area())) {
       mapped = std::move(remapped);
@@ -174,8 +184,8 @@ void TechMapStage::run(FlowContext& ctx) const {
     ctx.netlist_is_current = true;
   } else if (!ctx.netlist.has_value() || !ctx.netlist_is_current) {
     ctx.current = strash(ctx.current);
-    ctx.netlist =
-        map_to_cells(ctx.current, *params.library, params.mapping);
+    ctx.netlist = map_to_cells(ctx.current, matcher, params.mapping,
+                               &ctx.mapper_workspace);
     ctx.netlist_is_current = true;
   }
   ctx.qor.area = ctx.netlist->area();

@@ -38,10 +38,22 @@ namespace emorphic {
 
 /// Quality-prioritized cost model (Sec. III-C.2): a fast, rough technology
 /// mapping; the mapped delay is the SA cost, area breaks ties.
+///
+/// The matcher (NPN canonization tables + match cache) is built once and
+/// shared — it is thread-safe, so one evaluator instance serves all SA
+/// chains concurrently; each calling thread maps through its own reusable
+/// workspace, so steady-state evaluations perform no mapper allocation.
 class MapQorEvaluator : public QorEvaluator {
  public:
   explicit MapQorEvaluator(const CellLibrary& library, double area_weight = 0.5)
-      : QorEvaluator(area_weight), library_(&library) {
+      : MapQorEvaluator(std::make_shared<const Matcher>(library),
+                        area_weight) {}
+
+  /// Share a prebuilt matcher (e.g. FlowContext::shared_matcher(), or
+  /// run_batch's per-batch instance) instead of canonizing the library anew.
+  explicit MapQorEvaluator(std::shared_ptr<const Matcher> matcher,
+                           double area_weight = 0.5)
+      : QorEvaluator(area_weight), matcher_(std::move(matcher)) {
     // Reduced effort relative to the final map: fewer priority cuts and no
     // area recovery, trading accuracy for evaluation speed.
     params_.num_cuts = 4;
@@ -49,12 +61,15 @@ class MapQorEvaluator : public QorEvaluator {
   }
 
   Qor evaluate(const Aig& candidate) const override {
-    MappedQor q = map_qor(candidate, *library_, params_);
+    thread_local MapperWorkspace workspace;
+    MappedQor q = map_qor(candidate, *matcher_, params_, &workspace);
     return Qor{q.area, q.delay};
   }
 
+  const CellLibrary& library() const { return matcher_->library(); }
+
  private:
-  const CellLibrary* library_;
+  std::shared_ptr<const Matcher> matcher_;
   MapperParams params_;
 };
 
@@ -177,6 +192,24 @@ struct FlowContext {
   double time_budget_s = 0.0;
   /// Index of this circuit within a run_batch call (0 otherwise).
   std::size_t batch_index = 0;
+  /// Shared NPN matcher over params.library, used by every mapping stage
+  /// and the default SA evaluator. Lazily built by shared_matcher();
+  /// run_batch pre-seeds it so all workers share one instance (the matcher
+  /// is thread-safe). Survives Pipeline::run's working-state reset — it is
+  /// configuration-derived, and rebuilt only when the library changes.
+  std::shared_ptr<const Matcher> matcher;
+  /// Reusable mapper scratch for this context's stages (stages run on one
+  /// thread; SA chains use their own thread-local workspaces).
+  MapperWorkspace mapper_workspace;
+
+  /// The shared matcher for params.library, building (or replacing) it if
+  /// needed.
+  const std::shared_ptr<const Matcher>& shared_matcher() {
+    if (matcher == nullptr || &matcher->library() != params.library) {
+      matcher = std::make_shared<const Matcher>(*params.library);
+    }
+    return matcher;
+  }
 
   // --- working state (stage inputs/outputs) --------------------------------
   Aig input;    // original circuit, kept pristine for verification

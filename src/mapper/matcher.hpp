@@ -5,8 +5,20 @@
 // functions repeat heavily) and the stored transforms are composed to give,
 // for every matching cell, the pin-to-leaf assignment, which leaf phases
 // are needed, and whether the gate output implements the complement.
+//
+// One Matcher instance is meant to be shared: the precomputed cell tables
+// are immutable after construction and the match cache is striped behind
+// per-shard mutexes, so a single matcher serves every SA chain and every
+// run_batch worker concurrently instead of being rebuilt per evaluation.
+// Cache entries are keyed by (function, leaf count) — match validity
+// depends on the leaf count (a cell pin must not read a padding variable),
+// so the same padded table queried with different cut sizes yields
+// different match lists.
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -30,29 +42,43 @@ class Matcher {
  public:
   explicit Matcher(const CellLibrary& library);
 
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
+
   /// All cell implementations of `tt` (a function of `num_leaves` <= 4
-  /// variables, padded into the 4-variable domain).
-  const std::vector<CellMatch>& match(Tt tt, unsigned num_leaves);
+  /// variables, padded into the 4-variable domain). Thread-safe; the
+  /// returned reference stays valid for the lifetime of the matcher.
+  const std::vector<CellMatch>& match(Tt tt, unsigned num_leaves) const;
 
   const CellLibrary& library() const { return library_; }
 
- private:
-  struct CanonEntry {
-    Tt canon;
-    NpnTransform transform;
-  };
-  CanonEntry canon_of(Tt tt);
+  /// Number of distinct (function, leaf count) pairs matched so far.
+  std::size_t cache_size() const;
 
-  const CellLibrary& library_;
+ private:
   /// canonical tt -> matches expressed against the canonical form
   struct CellEntry {
     std::uint32_t cell;
     NpnTransform transform;  // canon == npn_apply(cell_tt, transform)
   };
+
+  std::vector<CellMatch> compute_matches(Tt tt, unsigned num_leaves) const;
+
+  const CellLibrary& library_;
+  /// Immutable after construction; safe for lock-free concurrent reads.
   std::unordered_map<Tt, std::vector<CellEntry>> canon_cells_;
-  std::unordered_map<Tt, CanonEntry> canon_cache_;
-  std::unordered_map<Tt, std::vector<CellMatch>> match_cache_;
-  const std::vector<CellMatch> empty_;
+
+  // Striped match cache. Values are heap-allocated and never mutated after
+  // insertion, so returned references survive rehashing and concurrent
+  // inserts into the same shard.
+  static constexpr std::size_t kNumShards = 16;
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint32_t,
+                       std::unique_ptr<const std::vector<CellMatch>>>
+        entries;
+  };
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace emorphic

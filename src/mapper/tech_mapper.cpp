@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "aig/cut.hpp"
@@ -26,6 +27,20 @@ struct NodeState {
   PhaseMatch phase[2];
 };
 
+/// The one match-selection preference, lexicographic on (arrival, area
+/// flow). Pass 1 and the inverter phase-closing both use exactly this
+/// comparator, so the chosen cover never depends on how a compiler or FP
+/// contraction setting resolves an exact `==` tie-break.
+bool lex_improves(double arrival, double area_flow, const PhaseMatch& slot) {
+  if (arrival != slot.arrival) return arrival < slot.arrival;
+  return area_flow < slot.area_flow;
+}
+
+struct Want {
+  Var v;
+  int p;
+};
+
 Tt pad4(const Cut& cut) {
   std::array<std::uint8_t, 6> identity{{0, 1, 2, 3, 4, 5}};
   return tt_expand(cut.tt, cut.size, 4, identity);
@@ -33,20 +48,47 @@ Tt pad4(const Cut& cut) {
 
 }  // namespace
 
+struct MapperWorkspace::Impl {
+  std::vector<NodeState> state;
+  std::vector<std::array<double, 2>> required;
+  std::vector<std::array<std::uint32_t, 2>> net;
+  std::vector<Want> stack;
+  CutArena cuts;
+};
+
+MapperWorkspace::MapperWorkspace() : impl_(std::make_unique<Impl>()) {}
+MapperWorkspace::~MapperWorkspace() = default;
+MapperWorkspace::MapperWorkspace(MapperWorkspace&&) noexcept = default;
+MapperWorkspace& MapperWorkspace::operator=(MapperWorkspace&&) noexcept =
+    default;
+
 MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
                            const MapperParams& params) {
-  if (params.cut_size > 4) {
-    throw std::invalid_argument("map_to_cells: cut_size must be <= 4");
+  Matcher matcher(library);
+  return map_to_cells(aig, matcher, params, nullptr);
+}
+
+MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
+                           const MapperParams& params,
+                           MapperWorkspace* workspace) {
+  if (params.cut_size < 2 || params.cut_size > 4) {
+    throw std::invalid_argument("map_to_cells: cut_size must be in [2, 4]");
   }
+  std::optional<MapperWorkspace> local;
+  if (workspace == nullptr) local.emplace();
+  MapperWorkspace::Impl& ws =
+      workspace != nullptr ? *workspace->impl_ : *local->impl_;
+  const CellLibrary& library = matcher.library();
+
   CutParams cut_params;
   cut_params.cut_size = params.cut_size;
   cut_params.num_cuts = params.num_cuts;
-  CutManager cuts(aig, cut_params);
-  Matcher matcher(library);
+  CutManager cuts(aig, cut_params, &ws.cuts);
 
   const Cell& inv = library.cell(library.inverter());
   auto fanout = aig.fanout_counts();
-  std::vector<NodeState> state(aig.num_nodes());
+  std::vector<NodeState>& state = ws.state;
+  state.assign(aig.num_nodes(), NodeState{});
 
   // Constant node: both phases available "for free" as tie nets.
   state[0].phase[0] = PhaseMatch{0.0, 0.0, -1, -1, false};
@@ -59,8 +101,7 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
       double arrival = other.arrival + inv.delay;
       double flow = other.area_flow + inv.area;
       PhaseMatch& mine = state[v].phase[p];
-      if (arrival < mine.arrival ||
-          (arrival == mine.arrival && flow < mine.area_flow)) {
+      if (lex_improves(arrival, flow, mine)) {
         mine = PhaseMatch{arrival, flow, -1, -1, true};
       }
     }
@@ -114,8 +155,7 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
         flow /= refs;
         int p = m.output_compl ? 1 : 0;
         PhaseMatch& slot = state[v].phase[p];
-        if (arrival < slot.arrival ||
-            (arrival == slot.arrival && flow < slot.area_flow)) {
+        if (lex_improves(arrival, flow, slot)) {
           slot = PhaseMatch{arrival, flow, ci, mi, false};
         }
       }
@@ -132,8 +172,8 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
   // --- Pass 2: required-time-aware area recovery -------------------------
   // Cover of pass 1 defines the delay target; off-critical nodes re-select
   // the cheapest match that still meets their required time.
-  std::vector<std::array<double, 2>> required(
-      aig.num_nodes(), {kInf, kInf});
+  std::vector<std::array<double, 2>>& required = ws.required;
+  required.assign(aig.num_nodes(), {kInf, kInf});
   double target = 0.0;
   for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
     Lit po = aig.po(i);
@@ -223,8 +263,8 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
   // --- Pass 3: netlist construction ---------------------------------------
   MappedNetlist netlist(&library);
   constexpr std::uint32_t kNoNet = 0xffffffffu;
-  std::vector<std::array<std::uint32_t, 2>> net(aig.num_nodes(),
-                                                {kNoNet, kNoNet});
+  std::vector<std::array<std::uint32_t, 2>>& net = ws.net;
+  net.assign(aig.num_nodes(), {kNoNet, kNoNet});
   // Primary-input nets exist up front.
   for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
     Var v = aig.pis()[i];
@@ -233,11 +273,8 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
   }
 
   // Iterative emission: a (var, phase) is emitted after its inputs.
-  struct Want {
-    Var v;
-    int p;
-  };
-  std::vector<Want> stack;
+  std::vector<Want>& stack = ws.stack;
+  stack.clear();
   auto need = [&](Var v, int p) {
     if (net[v][p] == kNoNet) stack.push_back(Want{v, p});
   };
@@ -322,6 +359,12 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
 MappedQor map_qor(const Aig& aig, const CellLibrary& library,
                   const MapperParams& params) {
   MappedNetlist netlist = map_to_cells(aig, library, params);
+  return MappedQor{netlist.area(), netlist.delay()};
+}
+
+MappedQor map_qor(const Aig& aig, const Matcher& matcher,
+                  const MapperParams& params, MapperWorkspace* workspace) {
+  MappedNetlist netlist = map_to_cells(aig, matcher, params, workspace);
   return MappedQor{netlist.area(), netlist.delay()};
 }
 

@@ -12,7 +12,14 @@
 //  * netlist construction (netlist.hpp) for the chosen cover.
 //
 // This is both the paper's `map` step and the quality-prioritized cost
-// oracle that scores candidate extractions during simulated annealing.
+// oracle that scores candidate extractions during simulated annealing. For
+// that hot path, pass a shared `Matcher` (so the NPN canonization tables and
+// the match cache survive across evaluations) and a per-thread
+// `MapperWorkspace` (so the DP state, required-time, and cut arenas stop
+// churning the allocator); the library-only overload keeps the one-shot
+// convenience API.
+
+#include <memory>
 
 #include "aig/aig.hpp"
 #include "mapper/matcher.hpp"
@@ -21,14 +28,41 @@
 namespace emorphic {
 
 struct MapperParams {
-  unsigned cut_size = 4;   // cells have at most 4 pins
+  unsigned cut_size = 4;   // cells have at most 4 pins; must be >= 2
   unsigned num_cuts = 8;   // priority cuts per node
   bool area_recovery = true;
 };
 
-/// Map an AIG onto the library; returns the mapped netlist.
+/// Reusable scratch for repeated map_to_cells calls: the per-node DP state,
+/// required times, net ids, emission stack, and the cut arena. Buffers are
+/// resized (keeping capacity) per call, so mapping many same-scale candidate
+/// AIGs performs no steady-state allocation. Not thread-safe: one workspace
+/// per thread.
+class MapperWorkspace {
+ public:
+  MapperWorkspace();
+  ~MapperWorkspace();
+  MapperWorkspace(MapperWorkspace&&) noexcept;
+  MapperWorkspace& operator=(MapperWorkspace&&) noexcept;
+
+ private:
+  friend MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
+                                    const MapperParams& params,
+                                    MapperWorkspace* workspace);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Map an AIG onto the library; returns the mapped netlist. Builds a fresh
+/// Matcher per call — prefer the Matcher overload on hot paths.
 MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
                            const MapperParams& params = {});
+
+/// Map with a shared (thread-safe) matcher and an optional reusable
+/// workspace. This is the SA evaluation hot path.
+MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
+                           const MapperParams& params = {},
+                           MapperWorkspace* workspace = nullptr);
 
 /// Convenience: map and report {area, delay} only.
 struct MappedQor {
@@ -37,5 +71,8 @@ struct MappedQor {
 };
 MappedQor map_qor(const Aig& aig, const CellLibrary& library,
                   const MapperParams& params = {});
+MappedQor map_qor(const Aig& aig, const Matcher& matcher,
+                  const MapperParams& params = {},
+                  MapperWorkspace* workspace = nullptr);
 
 }  // namespace emorphic

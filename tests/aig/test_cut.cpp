@@ -122,5 +122,41 @@ TEST(Cut, ConstantFaninFoldsIntoCutFunction) {
   EXPECT_TRUE(found);
 }
 
+TEST(Cut, RejectsInvalidCutSize) {
+  // cut_size < 2 cannot cover an AND node and > kMaxCutSize overflows
+  // Cut::leaves: both must throw in every build mode, not just assert.
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  aig.add_po(aig.make_and(a, b));
+  EXPECT_THROW(CutManager(aig, CutParams{1, 8}), std::invalid_argument);
+  EXPECT_THROW(CutManager(aig, CutParams{0, 8}), std::invalid_argument);
+  EXPECT_THROW(CutManager(aig, CutParams{kMaxCutSize + 1, 8}),
+               std::invalid_argument);
+}
+
+TEST(Cut, ArenaReuseMatchesFreshEnumeration) {
+  // One arena carried across CutManagers (including a larger AIG in
+  // between, so stale slots exist) must reproduce fresh-state cuts exactly.
+  Rng rng(61);
+  Aig big = testing::random_aig(8, 4, 120, rng);
+  Aig small = testing::random_aig(6, 3, 40, rng);
+  CutArena arena;
+  CutManager warmup(big, CutParams{4, 8}, &arena);
+
+  CutManager fresh(small, CutParams{4, 8});
+  CutManager reused(small, CutParams{4, 8}, &arena);
+  for (Var v = 0; v < small.num_nodes(); ++v) {
+    const auto& a = fresh.cuts(v);
+    const auto& b = reused.cuts(v);
+    ASSERT_EQ(a.size(), b.size()) << "node " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].size, b[i].size);
+      EXPECT_EQ(a[i].tt, b[i].tt);
+      EXPECT_EQ(a[i].leaves, b[i].leaves);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace emorphic

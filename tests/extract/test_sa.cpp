@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "../test_helpers.hpp"
+#include "benchgen/arith.hpp"
 #include "egraph/rules.hpp"
 #include "egraph/runner.hpp"
 #include "flow/conversion.hpp"
+#include "flow/pipeline.hpp"
 
 namespace emorphic {
 namespace {
@@ -116,6 +118,106 @@ TEST_F(SaFixture, PruningStatsAccumulate) {
   params.moves_per_iteration = 2;
   SaResult pruned = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
   EXPECT_GT(pruned.extract_stats.enodes_visited, 0u);
+}
+
+TEST_F(SaFixture, MemoizedQorEqualsRecomputedQor) {
+  // The per-run Qor memo must never change the annealing outcome: cached
+  // entries are the evaluator's own earlier answers, keyed by the
+  // candidate's structural signature.
+  ProxyEvaluator eval;
+  SaParams params;
+  params.num_threads = 2;
+  params.iterations = 3;
+  params.moves_per_iteration = 6;
+  params.seed = 17;
+
+  params.memoize_qor = false;
+  SaResult plain = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  EXPECT_EQ(plain.qor_cache_hits, 0u);
+  EXPECT_EQ(plain.qor_cache_misses, 0u);
+
+  params.memoize_qor = true;
+  SaResult memo = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+
+  EXPECT_DOUBLE_EQ(plain.best_cost, memo.best_cost);
+  EXPECT_DOUBLE_EQ(plain.best_qor.area, memo.best_qor.area);
+  EXPECT_DOUBLE_EQ(plain.best_qor.delay, memo.best_qor.delay);
+  EXPECT_EQ(plain.trace.size(), memo.trace.size());
+  // Same number of candidates were scored; the memo only changes who
+  // answered. Every evaluator call is a memo miss.
+  EXPECT_EQ(memo.qor_cache_hits + memo.qor_cache_misses, plain.evaluations);
+  EXPECT_EQ(memo.qor_cache_misses, memo.evaluations);
+  EXPECT_GT(memo.qor_cache_misses, 0u);
+}
+
+TEST(SaMapped, MemoizedQorEqualsRecomputedOnBenchgenCircuit) {
+  // End-to-end variant over the real mapping evaluator on a benchgen
+  // circuit: cached Qor == recomputed Qor, and a densely-explored small
+  // e-graph actually produces hits.
+  Aig adder = make_adder(5);
+  CircuitEGraph ce = aig_to_egraph(adder);
+  RunnerLimits limits;
+  limits.max_iterations = 2;
+  limits.max_enodes = 2000;
+  run_rewriting(ce.egraph, make_logic_rules(), limits);
+
+  MapQorEvaluator eval(CellLibrary::asap7_like());
+  SaParams params;
+  params.num_threads = 2;
+  params.iterations = 3;
+  params.moves_per_iteration = 10;
+  params.seed = 23;
+
+  params.memoize_qor = false;
+  SaResult plain = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  params.memoize_qor = true;
+  SaResult memo = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+
+  EXPECT_DOUBLE_EQ(plain.best_cost, memo.best_cost);
+  EXPECT_DOUBLE_EQ(plain.best_qor.area, memo.best_qor.area);
+  EXPECT_DOUBLE_EQ(plain.best_qor.delay, memo.best_qor.delay);
+  EXPECT_EQ(memo.qor_cache_hits + memo.qor_cache_misses, plain.evaluations);
+  EXPECT_GT(memo.qor_cache_hits, 0u);
+  EXPECT_LT(memo.evaluations, plain.evaluations);
+
+  // The memoized winner is still a valid extraction of the input.
+  Aig best = egraph_to_aig(ce, memo.best);
+  EXPECT_TRUE(testing::functionally_equal(adder, best));
+}
+
+TEST_F(SaFixture, ZeroCostDeltaKeepsTemperature) {
+  // Degenerate-schedule guard: when no move changes the cost, the paper's
+  // Tn = Tn-1 * |delta| / divisor rule has no signal. The temperature used
+  // to collapse to the 1e-6 floor; now it holds steady.
+  class ConstantEvaluator : public QorEvaluator {
+   public:
+    Qor evaluate(const Aig&) const override { return Qor{1.0, 1.0}; }
+  };
+  ConstantEvaluator eval;
+  SaParams params;
+  params.num_threads = 1;
+  params.iterations = 4;
+  params.moves_per_iteration = 2;
+  SaResult result = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  ASSERT_FALSE(result.trace.empty());
+  for (const SaTracePoint& pt : result.trace) {
+    EXPECT_DOUBLE_EQ(pt.temperature, params.initial_temperature);
+  }
+}
+
+TEST_F(SaFixture, ZeroMovesPerIterationIsSafe) {
+  // moves_per_iteration == 0 leaves last_delta at 0 forever; the schedule
+  // guard must keep the run well-defined (it still evaluates the initial
+  // solutions and the final polish).
+  ProxyEvaluator eval;
+  SaParams params;
+  params.num_threads = 2;
+  params.iterations = 5;
+  params.moves_per_iteration = 0;
+  SaResult result = sa_extract(ce.egraph, ce.roots, ce.pi_names, eval, params);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_LT(result.best_cost, kInfCost);
 }
 
 }  // namespace

@@ -126,5 +126,39 @@ TEST(Mapper, RejectsOversizeCuts) {
                std::invalid_argument);
 }
 
+TEST(Mapper, RejectsUndersizeCuts) {
+  // cut_size < 2 is as invalid as > 4: it used to slip past the mapper's
+  // validation and die on an assert (or UB in release) inside CutManager.
+  Aig aig;
+  aig.add_po(make_lit(aig.add_pi()));
+  MapperParams params;
+  params.cut_size = 1;
+  EXPECT_THROW(map_to_cells(aig, CellLibrary::asap7_like(), params),
+               std::invalid_argument);
+  params.cut_size = 0;
+  EXPECT_THROW(map_to_cells(aig, CellLibrary::asap7_like(), params),
+               std::invalid_argument);
+}
+
+TEST(Mapper, SharedMatcherAndWorkspaceReuseMatchFreshMapping) {
+  // The SA hot path maps many candidate AIGs through one shared matcher and
+  // one reused workspace; every call must agree exactly with a fresh-state
+  // mapping of the same circuit.
+  Rng rng(153);
+  Matcher matcher(CellLibrary::asap7_like());
+  MapperWorkspace workspace;
+  for (int round = 0; round < 6; ++round) {
+    // Vary the circuit size so the workspace shrinks and grows across calls.
+    unsigned ands = 30 + 40 * (round % 3);
+    Aig aig = testing::random_aig(6, 3, ands, rng);
+    MappedNetlist fresh = map_to_cells(aig, CellLibrary::asap7_like());
+    MappedNetlist reused = map_to_cells(aig, matcher, {}, &workspace);
+    EXPECT_EQ(fresh.num_gates(), reused.num_gates()) << round;
+    EXPECT_DOUBLE_EQ(fresh.area(), reused.area()) << round;
+    EXPECT_DOUBLE_EQ(fresh.delay(), reused.delay()) << round;
+    EXPECT_TRUE(testing::functionally_equal(aig, reused.to_aig())) << round;
+  }
+}
+
 }  // namespace
 }  // namespace emorphic

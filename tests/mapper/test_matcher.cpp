@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "util/rng.hpp"
 
 namespace emorphic {
@@ -94,6 +97,130 @@ TEST(Matcher, NoMatchForUncoveredFunction) {
   Tt parity =
       (tt_var(0, 4) ^ tt_var(1, 4) ^ tt_var(2, 4) ^ tt_var(3, 4)) & tt_mask(4);
   EXPECT_TRUE(matcher.match(parity, 4).empty());
+}
+
+/// A library containing AND2D: a 3-input cell whose function ignores pin 2
+/// (tt = x0 & x1). Degenerate pins are how (tt, num_leaves) cache staleness
+/// becomes observable: the free pin may legally bind leaf 2 of a 3-leaf cut
+/// but no leaf of a 2-leaf cut with the *same padded truth table*.
+CellLibrary library_with_degenerate_cell() {
+  CellLibrary lib;
+  Cell inv;
+  inv.name = "INV";
+  inv.area = 1.0;
+  inv.delay = 1.0;
+  inv.num_inputs = 1;
+  inv.tt = tt_not(tt_var(0, 4), 4);
+  lib.add(inv);
+  Cell and2;
+  and2.name = "AND2";
+  and2.area = 2.0;
+  and2.delay = 2.0;
+  and2.num_inputs = 2;
+  and2.tt = tt_var(0, 4) & tt_var(1, 4);
+  lib.add(and2);
+  Cell and2d;
+  and2d.name = "AND2D";
+  and2d.area = 3.0;
+  and2d.delay = 3.0;
+  and2d.num_inputs = 3;
+  and2d.tt = tt_var(0, 4) & tt_var(1, 4);  // pin 2 is ignored
+  lib.add(and2d);
+  return lib;
+}
+
+TEST(Matcher, CacheIsKeyedByLeafCount) {
+  // Regression: the match cache used to be keyed by the padded truth table
+  // only, but two cuts of different sizes can pad to the same 4-var
+  // function — e.g. a 2-leaf cut computing a&b and a 3-leaf cut whose
+  // function ignores its third leaf. Their match lists differ (a cell pin
+  // must never read a padding variable), so the leaf count belongs in the
+  // cache key; the stale entry used to leak a pin bound to leaf >= 2 into
+  // the 2-leaf query, making the mapper index cut.leaves out of range.
+  CellLibrary lib = library_with_degenerate_cell();
+  Tt f = tt_var(0, 4) & tt_var(1, 4);
+
+  // 3-leaf query first (poisons a tt-keyed cache), 2-leaf query second.
+  Matcher matcher(lib);
+  const auto& three = matcher.match(f, 3);
+  bool and2d_with_free_pin = false;
+  for (const CellMatch& m : three) {
+    for (unsigned j = 0; j < lib.cell(m.cell).num_inputs; ++j) {
+      EXPECT_LT(m.pin_leaf[j], 3u);
+    }
+    if (lib.cell(m.cell).name == "AND2D") and2d_with_free_pin = true;
+  }
+  EXPECT_TRUE(and2d_with_free_pin);  // free pin legally bound to leaf 2
+
+  const auto& two = matcher.match(f, 2);
+  for (const CellMatch& m : two) {
+    EXPECT_NE(lib.cell(m.cell).name, "AND2D");
+    for (unsigned j = 0; j < lib.cell(m.cell).num_inputs; ++j) {
+      EXPECT_LT(m.pin_leaf[j], 2u) << "stale cache leaked a padding pin";
+    }
+    EXPECT_TRUE(match_implements(lib, m, f, 2));
+  }
+  ASSERT_FALSE(two.empty());  // AND2 still matches
+
+  // Reverse order on a fresh matcher: the 2-leaf entry must not rob the
+  // 3-leaf query of its degenerate match.
+  Matcher reversed(lib);
+  reversed.match(f, 2);
+  bool found = false;
+  for (const CellMatch& m : reversed.match(f, 3)) {
+    if (lib.cell(m.cell).name == "AND2D") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Matcher, PinLeafAlwaysWithinLeafCount) {
+  // Interleaved leaf counts over the standard library: every returned match
+  // must respect the leaf count of *its own* query.
+  Matcher matcher(CellLibrary::asap7_like());
+  Rng rng(53);
+  for (int round = 0; round < 200; ++round) {
+    Tt tt = rng.next() & tt_mask(4);
+    unsigned num_leaves = 2 + static_cast<unsigned>(rng.next_below(3));
+    for (const CellMatch& m : matcher.match(tt, num_leaves)) {
+      const Cell& cell = matcher.library().cell(m.cell);
+      for (unsigned j = 0; j < cell.num_inputs; ++j) {
+        EXPECT_LT(m.pin_leaf[j], num_leaves);
+      }
+    }
+  }
+}
+
+TEST(Matcher, ConcurrentMatchIsConsistent) {
+  // One shared matcher hammered from several threads must return the same
+  // match lists a cold serial matcher does (and not crash or race).
+  Matcher shared(CellLibrary::asap7_like());
+  std::vector<Tt> tts;
+  Rng rng(97);
+  for (int i = 0; i < 64; ++i) tts.push_back(rng.next() & tt_mask(4));
+
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> totals(4, 0);
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t sum = 0;
+      for (int round = 0; round < 50; ++round) {
+        for (Tt tt : tts) {
+          sum += shared.match(tt, 2 + (round + t) % 3).size();
+        }
+      }
+      totals[t] = sum;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Matcher serial(CellLibrary::asap7_like());
+  for (unsigned t = 0; t < 4; ++t) {
+    std::size_t sum = 0;
+    for (int round = 0; round < 50; ++round) {
+      for (Tt tt : tts) sum += serial.match(tt, 2 + (round + t) % 3).size();
+    }
+    EXPECT_EQ(totals[t], sum);
+  }
 }
 
 TEST(Matcher, RandomPermutedGateFunctionsAlwaysMatch) {
