@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_area_weight.dir/bench/ablation_area_weight.cpp.o"
+  "CMakeFiles/bench_ablation_area_weight.dir/bench/ablation_area_weight.cpp.o.d"
+  "bench/ablation_area_weight"
+  "bench/ablation_area_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_area_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

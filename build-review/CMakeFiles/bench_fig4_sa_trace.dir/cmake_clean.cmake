@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sa_trace.dir/bench/fig4_sa_trace.cpp.o"
+  "CMakeFiles/bench_fig4_sa_trace.dir/bench/fig4_sa_trace.cpp.o.d"
+  "bench/fig4_sa_trace"
+  "bench/fig4_sa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

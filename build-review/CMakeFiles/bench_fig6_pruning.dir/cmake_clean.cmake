@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pruning.dir/bench/fig6_pruning.cpp.o"
+  "CMakeFiles/bench_fig6_pruning.dir/bench/fig6_pruning.cpp.o.d"
+  "bench/fig6_pruning"
+  "bench/fig6_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_breakdown.dir/bench/fig9_breakdown.cpp.o"
+  "CMakeFiles/bench_fig9_breakdown.dir/bench/fig9_breakdown.cpp.o.d"
+  "bench/fig9_breakdown"
+  "bench/fig9_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_egraph.dir/bench/micro_egraph.cpp.o"
+  "CMakeFiles/bench_micro_egraph.dir/bench/micro_egraph.cpp.o.d"
+  "bench/micro_egraph"
+  "bench/micro_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

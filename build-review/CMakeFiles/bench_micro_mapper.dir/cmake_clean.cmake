@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mapper.dir/bench/micro_mapper.cpp.o"
+  "CMakeFiles/bench_micro_mapper.dir/bench/micro_mapper.cpp.o.d"
+  "bench/micro_mapper"
+  "bench/micro_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

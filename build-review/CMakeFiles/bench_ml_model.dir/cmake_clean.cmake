@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_model.dir/bench/ml_model.cpp.o"
+  "CMakeFiles/bench_ml_model.dir/bench/ml_model.cpp.o.d"
+  "bench/ml_model"
+  "bench/ml_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rules.dir/bench/table1_rules.cpp.o"
+  "CMakeFiles/bench_table1_rules.dir/bench/table1_rules.cpp.o.d"
+  "bench/table1_rules"
+  "bench/table1_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

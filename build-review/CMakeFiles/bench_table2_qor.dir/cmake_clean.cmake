@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_qor.dir/bench/table2_qor.cpp.o"
+  "CMakeFiles/bench_table2_qor.dir/bench/table2_qor.cpp.o.d"
+  "bench/table2_qor"
+  "bench/table2_qor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_qor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

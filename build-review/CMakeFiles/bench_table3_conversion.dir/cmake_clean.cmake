@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_conversion.dir/bench/table3_conversion.cpp.o"
+  "CMakeFiles/bench_table3_conversion.dir/bench/table3_conversion.cpp.o.d"
+  "bench/table3_conversion"
+  "bench/table3_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aig/aig.cpp" "CMakeFiles/emorphic.dir/src/aig/aig.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/aig/aig.cpp.o.d"
+  "/root/repo/src/aig/aig_io.cpp" "CMakeFiles/emorphic.dir/src/aig/aig_io.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/aig/aig_io.cpp.o.d"
+  "/root/repo/src/aig/cut.cpp" "CMakeFiles/emorphic.dir/src/aig/cut.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/aig/cut.cpp.o.d"
+  "/root/repo/src/aig/signature.cpp" "CMakeFiles/emorphic.dir/src/aig/signature.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/aig/signature.cpp.o.d"
+  "/root/repo/src/aig/sim.cpp" "CMakeFiles/emorphic.dir/src/aig/sim.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/aig/sim.cpp.o.d"
+  "/root/repo/src/aig/truth.cpp" "CMakeFiles/emorphic.dir/src/aig/truth.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/aig/truth.cpp.o.d"
+  "/root/repo/src/benchgen/arith.cpp" "CMakeFiles/emorphic.dir/src/benchgen/arith.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/benchgen/arith.cpp.o.d"
+  "/root/repo/src/benchgen/control.cpp" "CMakeFiles/emorphic.dir/src/benchgen/control.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/benchgen/control.cpp.o.d"
+  "/root/repo/src/benchgen/epfl.cpp" "CMakeFiles/emorphic.dir/src/benchgen/epfl.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/benchgen/epfl.cpp.o.d"
+  "/root/repo/src/cec/cec.cpp" "CMakeFiles/emorphic.dir/src/cec/cec.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/cec/cec.cpp.o.d"
+  "/root/repo/src/core/emorphic.cpp" "CMakeFiles/emorphic.dir/src/core/emorphic.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/core/emorphic.cpp.o.d"
+  "/root/repo/src/egraph/egraph.cpp" "CMakeFiles/emorphic.dir/src/egraph/egraph.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/egraph/egraph.cpp.o.d"
+  "/root/repo/src/egraph/pattern.cpp" "CMakeFiles/emorphic.dir/src/egraph/pattern.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/egraph/pattern.cpp.o.d"
+  "/root/repo/src/egraph/rules.cpp" "CMakeFiles/emorphic.dir/src/egraph/rules.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/egraph/rules.cpp.o.d"
+  "/root/repo/src/egraph/runner.cpp" "CMakeFiles/emorphic.dir/src/egraph/runner.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/egraph/runner.cpp.o.d"
+  "/root/repo/src/egraph/serialize.cpp" "CMakeFiles/emorphic.dir/src/egraph/serialize.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/egraph/serialize.cpp.o.d"
+  "/root/repo/src/egraph/sexpr.cpp" "CMakeFiles/emorphic.dir/src/egraph/sexpr.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/egraph/sexpr.cpp.o.d"
+  "/root/repo/src/extract/exact.cpp" "CMakeFiles/emorphic.dir/src/extract/exact.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/extract/exact.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "CMakeFiles/emorphic.dir/src/extract/extractor.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/extract/extractor.cpp.o.d"
+  "/root/repo/src/extract/sa_extractor.cpp" "CMakeFiles/emorphic.dir/src/extract/sa_extractor.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/extract/sa_extractor.cpp.o.d"
+  "/root/repo/src/flow/batch.cpp" "CMakeFiles/emorphic.dir/src/flow/batch.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/flow/batch.cpp.o.d"
+  "/root/repo/src/flow/conversion.cpp" "CMakeFiles/emorphic.dir/src/flow/conversion.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/flow/conversion.cpp.o.d"
+  "/root/repo/src/flow/flows.cpp" "CMakeFiles/emorphic.dir/src/flow/flows.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/flow/flows.cpp.o.d"
+  "/root/repo/src/flow/pipeline.cpp" "CMakeFiles/emorphic.dir/src/flow/pipeline.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/flow/pipeline.cpp.o.d"
+  "/root/repo/src/mapper/cell_library.cpp" "CMakeFiles/emorphic.dir/src/mapper/cell_library.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/mapper/cell_library.cpp.o.d"
+  "/root/repo/src/mapper/genlib.cpp" "CMakeFiles/emorphic.dir/src/mapper/genlib.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/mapper/genlib.cpp.o.d"
+  "/root/repo/src/mapper/matcher.cpp" "CMakeFiles/emorphic.dir/src/mapper/matcher.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/mapper/matcher.cpp.o.d"
+  "/root/repo/src/mapper/netlist.cpp" "CMakeFiles/emorphic.dir/src/mapper/netlist.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/mapper/netlist.cpp.o.d"
+  "/root/repo/src/mapper/tech_mapper.cpp" "CMakeFiles/emorphic.dir/src/mapper/tech_mapper.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/mapper/tech_mapper.cpp.o.d"
+  "/root/repo/src/ml/cost_model.cpp" "CMakeFiles/emorphic.dir/src/ml/cost_model.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/ml/cost_model.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "CMakeFiles/emorphic.dir/src/ml/dataset.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "CMakeFiles/emorphic.dir/src/ml/features.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/ml/features.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "CMakeFiles/emorphic.dir/src/ml/mlp.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/ml/mlp.cpp.o.d"
+  "/root/repo/src/opt/balance.cpp" "CMakeFiles/emorphic.dir/src/opt/balance.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/opt/balance.cpp.o.d"
+  "/root/repo/src/opt/refactor.cpp" "CMakeFiles/emorphic.dir/src/opt/refactor.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/opt/refactor.cpp.o.d"
+  "/root/repo/src/opt/resyn.cpp" "CMakeFiles/emorphic.dir/src/opt/resyn.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/opt/resyn.cpp.o.d"
+  "/root/repo/src/opt/sop.cpp" "CMakeFiles/emorphic.dir/src/opt/sop.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/opt/sop.cpp.o.d"
+  "/root/repo/src/opt/sop_balance.cpp" "CMakeFiles/emorphic.dir/src/opt/sop_balance.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/opt/sop_balance.cpp.o.d"
+  "/root/repo/src/sat/cnf.cpp" "CMakeFiles/emorphic.dir/src/sat/cnf.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/sat/cnf.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "CMakeFiles/emorphic.dir/src/sat/solver.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/sat/solver.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/emorphic.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/logger.cpp" "CMakeFiles/emorphic.dir/src/util/logger.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/util/logger.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/emorphic.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/emorphic.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/emorphic.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_rules_and_cells.dir/examples/custom_rules_and_cells.cpp.o"
+  "CMakeFiles/example_custom_rules_and_cells.dir/examples/custom_rules_and_cells.cpp.o.d"
+  "examples/custom_rules_and_cells"
+  "examples/custom_rules_and_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_rules_and_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ml_cost_model.dir/examples/ml_cost_model.cpp.o"
+  "CMakeFiles/example_ml_cost_model.dir/examples/ml_cost_model.cpp.o.d"
+  "examples/ml_cost_model"
+  "examples/ml_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ml_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_structural_exploration.dir/examples/structural_exploration.cpp.o"
+  "CMakeFiles/example_structural_exploration.dir/examples/structural_exploration.cpp.o.d"
+  "examples/structural_exploration"
+  "examples/structural_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_structural_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aig/test_aig.cpp" "CMakeFiles/test_aig.dir/tests/aig/test_aig.cpp.o" "gcc" "CMakeFiles/test_aig.dir/tests/aig/test_aig.cpp.o.d"
+  "/root/repo/tests/aig/test_aig_io.cpp" "CMakeFiles/test_aig.dir/tests/aig/test_aig_io.cpp.o" "gcc" "CMakeFiles/test_aig.dir/tests/aig/test_aig_io.cpp.o.d"
+  "/root/repo/tests/aig/test_cut.cpp" "CMakeFiles/test_aig.dir/tests/aig/test_cut.cpp.o" "gcc" "CMakeFiles/test_aig.dir/tests/aig/test_cut.cpp.o.d"
+  "/root/repo/tests/aig/test_sim.cpp" "CMakeFiles/test_aig.dir/tests/aig/test_sim.cpp.o" "gcc" "CMakeFiles/test_aig.dir/tests/aig/test_sim.cpp.o.d"
+  "/root/repo/tests/aig/test_truth.cpp" "CMakeFiles/test_aig.dir/tests/aig/test_truth.cpp.o" "gcc" "CMakeFiles/test_aig.dir/tests/aig/test_truth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/emorphic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

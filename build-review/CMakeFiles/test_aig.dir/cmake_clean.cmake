@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aig.dir/tests/aig/test_aig.cpp.o"
+  "CMakeFiles/test_aig.dir/tests/aig/test_aig.cpp.o.d"
+  "CMakeFiles/test_aig.dir/tests/aig/test_aig_io.cpp.o"
+  "CMakeFiles/test_aig.dir/tests/aig/test_aig_io.cpp.o.d"
+  "CMakeFiles/test_aig.dir/tests/aig/test_cut.cpp.o"
+  "CMakeFiles/test_aig.dir/tests/aig/test_cut.cpp.o.d"
+  "CMakeFiles/test_aig.dir/tests/aig/test_sim.cpp.o"
+  "CMakeFiles/test_aig.dir/tests/aig/test_sim.cpp.o.d"
+  "CMakeFiles/test_aig.dir/tests/aig/test_truth.cpp.o"
+  "CMakeFiles/test_aig.dir/tests/aig/test_truth.cpp.o.d"
+  "tests/test_aig"
+  "tests/test_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

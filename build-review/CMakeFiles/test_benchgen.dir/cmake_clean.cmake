@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchgen.dir/tests/benchgen/test_benchgen.cpp.o"
+  "CMakeFiles/test_benchgen.dir/tests/benchgen/test_benchgen.cpp.o.d"
+  "tests/test_benchgen"
+  "tests/test_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cec.dir/tests/cec/test_cec.cpp.o"
+  "CMakeFiles/test_cec.dir/tests/cec/test_cec.cpp.o.d"
+  "tests/test_cec"
+  "tests/test_cec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

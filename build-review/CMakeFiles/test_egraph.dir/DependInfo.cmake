@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/egraph/test_egraph.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph.cpp.o.d"
+  "/root/repo/tests/egraph/test_egraph_core.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph_core.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph_core.cpp.o.d"
+  "/root/repo/tests/egraph/test_fuzz.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_fuzz.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_fuzz.cpp.o.d"
+  "/root/repo/tests/egraph/test_pattern.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_pattern.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_pattern.cpp.o.d"
+  "/root/repo/tests/egraph/test_rules.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_rules.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_rules.cpp.o.d"
+  "/root/repo/tests/egraph/test_runner.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_runner.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_runner.cpp.o.d"
+  "/root/repo/tests/egraph/test_serialize.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_serialize.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_serialize.cpp.o.d"
+  "/root/repo/tests/egraph/test_sexpr.cpp" "CMakeFiles/test_egraph.dir/tests/egraph/test_sexpr.cpp.o" "gcc" "CMakeFiles/test_egraph.dir/tests/egraph/test_sexpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/emorphic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph_core.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_egraph_core.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_fuzz.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_pattern.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_pattern.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_rules.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_rules.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_runner.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_runner.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_serialize.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_serialize.cpp.o.d"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_sexpr.cpp.o"
+  "CMakeFiles/test_egraph.dir/tests/egraph/test_sexpr.cpp.o.d"
+  "tests/test_egraph"
+  "tests/test_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extract/test_exact.cpp" "CMakeFiles/test_extract.dir/tests/extract/test_exact.cpp.o" "gcc" "CMakeFiles/test_extract.dir/tests/extract/test_exact.cpp.o.d"
+  "/root/repo/tests/extract/test_extractor.cpp" "CMakeFiles/test_extract.dir/tests/extract/test_extractor.cpp.o" "gcc" "CMakeFiles/test_extract.dir/tests/extract/test_extractor.cpp.o.d"
+  "/root/repo/tests/extract/test_sa.cpp" "CMakeFiles/test_extract.dir/tests/extract/test_sa.cpp.o" "gcc" "CMakeFiles/test_extract.dir/tests/extract/test_sa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/emorphic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

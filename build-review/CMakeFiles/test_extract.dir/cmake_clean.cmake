@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extract.dir/tests/extract/test_exact.cpp.o"
+  "CMakeFiles/test_extract.dir/tests/extract/test_exact.cpp.o.d"
+  "CMakeFiles/test_extract.dir/tests/extract/test_extractor.cpp.o"
+  "CMakeFiles/test_extract.dir/tests/extract/test_extractor.cpp.o.d"
+  "CMakeFiles/test_extract.dir/tests/extract/test_sa.cpp.o"
+  "CMakeFiles/test_extract.dir/tests/extract/test_sa.cpp.o.d"
+  "tests/test_extract"
+  "tests/test_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/tests/flow/test_conversion.cpp.o"
+  "CMakeFiles/test_flow.dir/tests/flow/test_conversion.cpp.o.d"
+  "CMakeFiles/test_flow.dir/tests/flow/test_flows.cpp.o"
+  "CMakeFiles/test_flow.dir/tests/flow/test_flows.cpp.o.d"
+  "CMakeFiles/test_flow.dir/tests/flow/test_pipeline.cpp.o"
+  "CMakeFiles/test_flow.dir/tests/flow/test_pipeline.cpp.o.d"
+  "tests/test_flow"
+  "tests/test_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapper/test_genlib.cpp" "CMakeFiles/test_mapper.dir/tests/mapper/test_genlib.cpp.o" "gcc" "CMakeFiles/test_mapper.dir/tests/mapper/test_genlib.cpp.o.d"
+  "/root/repo/tests/mapper/test_mapper.cpp" "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper.cpp.o" "gcc" "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper.cpp.o.d"
+  "/root/repo/tests/mapper/test_mapper_props.cpp" "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper_props.cpp.o" "gcc" "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper_props.cpp.o.d"
+  "/root/repo/tests/mapper/test_matcher.cpp" "CMakeFiles/test_mapper.dir/tests/mapper/test_matcher.cpp.o" "gcc" "CMakeFiles/test_mapper.dir/tests/mapper/test_matcher.cpp.o.d"
+  "/root/repo/tests/mapper/test_netlist.cpp" "CMakeFiles/test_mapper.dir/tests/mapper/test_netlist.cpp.o" "gcc" "CMakeFiles/test_mapper.dir/tests/mapper/test_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/emorphic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

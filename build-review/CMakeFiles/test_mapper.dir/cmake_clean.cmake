@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_genlib.cpp.o"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_genlib.cpp.o.d"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper.cpp.o"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper.cpp.o.d"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper_props.cpp.o"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_mapper_props.cpp.o.d"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_matcher.cpp.o"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_matcher.cpp.o.d"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_netlist.cpp.o"
+  "CMakeFiles/test_mapper.dir/tests/mapper/test_netlist.cpp.o.d"
+  "tests/test_mapper"
+  "tests/test_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

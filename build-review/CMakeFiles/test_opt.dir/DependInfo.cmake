@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt/test_balance.cpp" "CMakeFiles/test_opt.dir/tests/opt/test_balance.cpp.o" "gcc" "CMakeFiles/test_opt.dir/tests/opt/test_balance.cpp.o.d"
+  "/root/repo/tests/opt/test_refactor.cpp" "CMakeFiles/test_opt.dir/tests/opt/test_refactor.cpp.o" "gcc" "CMakeFiles/test_opt.dir/tests/opt/test_refactor.cpp.o.d"
+  "/root/repo/tests/opt/test_sop.cpp" "CMakeFiles/test_opt.dir/tests/opt/test_sop.cpp.o" "gcc" "CMakeFiles/test_opt.dir/tests/opt/test_sop.cpp.o.d"
+  "/root/repo/tests/opt/test_sop_balance.cpp" "CMakeFiles/test_opt.dir/tests/opt/test_sop_balance.cpp.o" "gcc" "CMakeFiles/test_opt.dir/tests/opt/test_sop_balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/emorphic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/tests/opt/test_balance.cpp.o"
+  "CMakeFiles/test_opt.dir/tests/opt/test_balance.cpp.o.d"
+  "CMakeFiles/test_opt.dir/tests/opt/test_refactor.cpp.o"
+  "CMakeFiles/test_opt.dir/tests/opt/test_refactor.cpp.o.d"
+  "CMakeFiles/test_opt.dir/tests/opt/test_sop.cpp.o"
+  "CMakeFiles/test_opt.dir/tests/opt/test_sop.cpp.o.d"
+  "CMakeFiles/test_opt.dir/tests/opt/test_sop_balance.cpp.o"
+  "CMakeFiles/test_opt.dir/tests/opt/test_sop_balance.cpp.o.d"
+  "tests/test_opt"
+  "tests/test_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat.dir/tests/sat/test_sat.cpp.o"
+  "CMakeFiles/test_sat.dir/tests/sat/test_sat.cpp.o.d"
+  "CMakeFiles/test_sat.dir/tests/sat/test_sat_fuzz.cpp.o"
+  "CMakeFiles/test_sat.dir/tests/sat/test_sat_fuzz.cpp.o.d"
+  "tests/test_sat"
+  "tests/test_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

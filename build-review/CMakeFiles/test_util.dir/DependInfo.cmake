@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_json.cpp" "CMakeFiles/test_util.dir/tests/util/test_json.cpp.o" "gcc" "CMakeFiles/test_util.dir/tests/util/test_json.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "CMakeFiles/test_util.dir/tests/util/test_rng.cpp.o" "gcc" "CMakeFiles/test_util.dir/tests/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_small_vec.cpp" "CMakeFiles/test_util.dir/tests/util/test_small_vec.cpp.o" "gcc" "CMakeFiles/test_util.dir/tests/util/test_small_vec.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "CMakeFiles/test_util.dir/tests/util/test_thread_pool.cpp.o" "gcc" "CMakeFiles/test_util.dir/tests/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/emorphic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

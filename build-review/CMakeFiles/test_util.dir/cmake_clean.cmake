@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/tests/util/test_json.cpp.o"
+  "CMakeFiles/test_util.dir/tests/util/test_json.cpp.o.d"
+  "CMakeFiles/test_util.dir/tests/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/tests/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/tests/util/test_small_vec.cpp.o"
+  "CMakeFiles/test_util.dir/tests/util/test_small_vec.cpp.o.d"
+  "CMakeFiles/test_util.dir/tests/util/test_thread_pool.cpp.o"
+  "CMakeFiles/test_util.dir/tests/util/test_thread_pool.cpp.o.d"
+  "tests/test_util"
+  "tests/test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(aig "/root/repo/build-review/tests/test_aig")
+set_tests_properties(aig PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(benchgen "/root/repo/build-review/tests/test_benchgen")
+set_tests_properties(benchgen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(cec "/root/repo/build-review/tests/test_cec")
+set_tests_properties(cec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(egraph "/root/repo/build-review/tests/test_egraph")
+set_tests_properties(egraph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(extract "/root/repo/build-review/tests/test_extract")
+set_tests_properties(extract PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(flow "/root/repo/build-review/tests/test_flow")
+set_tests_properties(flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration "/root/repo/build-review/tests/test_integration")
+set_tests_properties(integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(mapper "/root/repo/build-review/tests/test_mapper")
+set_tests_properties(mapper PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ml "/root/repo/build-review/tests/test_ml")
+set_tests_properties(ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(opt "/root/repo/build-review/tests/test_opt")
+set_tests_properties(opt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sat "/root/repo/build-review/tests/test_sat")
+set_tests_properties(sat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(util "/root/repo/build-review/tests/test_util")
+set_tests_properties(util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;44;add_test;/root/repo/CMakeLists.txt;0;")
