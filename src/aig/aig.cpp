@@ -141,6 +141,38 @@ Aig Aig::cleanup() const {
   return out;
 }
 
+Aig Aig::substitute(const std::vector<Lit>& replacement) const {
+  assert(replacement.size() == nodes_.size());
+  Aig out = Aig::like(*this);
+  // old variable -> literal in `out`, with replacements resolved. A forward
+  // pass suffices: replacement literals point at smaller variables, whose
+  // map entries are already final.
+  std::vector<Lit> map(nodes_.size(), kLitFalse);
+  map[0] = kLitFalse;
+  auto translate = [&map](Lit l) {
+    return lit_notcond(map[lit_var(l)], lit_is_compl(l));
+  };
+  for (Var v = 1; v < nodes_.size(); ++v) {
+    if (replacement[v] != make_lit(v)) {
+      assert(lit_var(replacement[v]) < v);
+      map[v] = translate(replacement[v]);
+      continue;
+    }
+    if (nodes_[v].type == NodeType::kPi) {
+      map[v] = make_lit(out.pis()[nodes_[v].fanin0]);
+    } else {
+      map[v] = out.make_and(translate(nodes_[v].fanin0),
+                            translate(nodes_[v].fanin1));
+    }
+  }
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    out.set_po(i, translate(pos_[i]));
+  }
+  // The unconditional forward pass rebuilt nodes whose fanouts were all
+  // redirected away; drop those dangling cones.
+  return out.cleanup();
+}
+
 Aig Aig::like(const Aig& proto) {
   Aig out;
   for (std::uint32_t i = 0; i < proto.num_pis(); ++i) {

@@ -122,6 +122,15 @@ class Aig {
   /// Also re-strashes, so it doubles as ABC's `st`(rash) on an AIG.
   Aig cleanup() const;
 
+  /// Rebuild with node substitutions: every use of variable `v` (fanins and
+  /// POs, complement carried through) is redirected to `replacement[v]`
+  /// whenever that differs from `make_lit(v)`. Each replacement literal must
+  /// be over a strictly smaller variable, so chains resolve and the result
+  /// stays acyclic — the contract of SAT sweeping, where a node merges into
+  /// the earliest proven-equivalent representative (possibly complemented).
+  /// Re-strashes and drops nodes that dangle after the redirection.
+  Aig substitute(const std::vector<Lit>& replacement) const;
+
   /// Deep-copy the PI/PO interface (names included) without any logic.
   /// Useful when rebuilding a circuit from an e-graph.
   static Aig like(const Aig& proto);

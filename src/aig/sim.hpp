@@ -13,9 +13,30 @@
 
 namespace emorphic {
 
+class ThreadPool;
+
 /// Simulate with one 64-bit word per PI; returns one word per variable.
 std::vector<std::uint64_t> simulate_words(const Aig& aig,
                                           const std::vector<std::uint64_t>& pi_words);
+
+/// Multi-word simulation, node-major result: value of variable `v` under
+/// word `w` is `result[v * num_words + w]`. `pi_words` uses the same layout
+/// over PI indices (`pi_words[pi * num_words + w]`). Each 64-pattern word
+/// column is independent, so with a `pool` the word range is fanned out
+/// across its workers (the fraig engine's parallel random simulation); the
+/// result is bit-identical however many workers run.
+std::vector<std::uint64_t> simulate_words_multi(
+    const Aig& aig, const std::vector<std::uint64_t>& pi_words,
+    unsigned num_words, ThreadPool* pool = nullptr);
+
+/// Expand one concrete input assignment into a 64-pattern word per PI:
+/// bit 0 replays the assignment exactly, bits 1..63 are random neighbors
+/// (each PI flipped with probability `flip_p`). Replaying a refuting SAT
+/// assignment through this provably splits the two refuted nodes' simulation
+/// signatures (bit 0 distinguishes them), and the neighbor patterns let one
+/// counterexample split further near-miss candidate pairs as well.
+std::vector<std::uint64_t> expand_pattern(const std::vector<bool>& pattern,
+                                          Rng& rng, double flip_p = 0.05);
 
 /// Simulate `num_words` random words and return the PO values,
 /// laid out as po-major: result[po * num_words + w].

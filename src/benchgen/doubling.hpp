@@ -1,0 +1,20 @@
+#pragma once
+// Workload builders for SAT sweeping: "doubling" a circuit into two
+// functionally equal but structurally different copies sharing the PIs.
+// Structural hashing cannot merge the copies — a sweeping engine must —
+// which makes these the canonical fraig benchmarks and test inputs.
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// Combine two circuits with the same number of PIs into one AIG sharing
+/// the PI nodes (names from `a`), with `a`'s POs (suffix "_x") followed by
+/// `b`'s (suffix "_y").
+Aig union_shared_pis(const Aig& a, const Aig& b);
+
+/// `base` unioned with its sop-balanced restructuring: functionally equal
+/// PO pairs, structurally distinct cones.
+Aig doubled(const Aig& base);
+
+}  // namespace emorphic

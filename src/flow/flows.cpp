@@ -13,7 +13,7 @@ EmorphicBreakdown breakdown_from(const FlowTelemetry& telemetry) {
 }
 
 BaselineResult baseline_flow(const Aig& input, const FlowParams& params) {
-  FlowResult flow = Pipeline::baseline().run(input, params);
+  FlowResult flow = Pipeline::baseline(params).run(input, params);
   BaselineResult result;
   result.qor = flow.qor;
   result.final_aig = std::move(flow.final_aig);
@@ -27,7 +27,7 @@ EmorphicResult emorphic_flow(const Aig& input, const FlowParams& params,
   ctx.params = params;
   ctx.input = input;
   ctx.evaluator = evaluator;
-  FlowResult flow = Pipeline::emorphic().run(ctx);
+  FlowResult flow = Pipeline::emorphic(params).run(ctx);
 
   EmorphicResult result;
   result.qor = flow.qor;

@@ -39,6 +39,7 @@ FlowResult FlowContext::take_result() {
   result.telemetry = std::move(telemetry);
   result.rewrite_report = std::move(rewrite_report);
   result.sa = std::move(sa);
+  result.fraig_stats = fraig_stats;
   result.egraph_classes = egraph_classes;
   result.egraph_enodes = egraph_enodes;
   result.initial_enodes = initial_enodes;
@@ -200,6 +201,20 @@ void CecStage::run(FlowContext& ctx) const {
   ctx.verify_status = cec(ctx.input, ctx.current, ctx.params.cec_params).status;
 }
 
+// --- fraig ------------------------------------------------------------------
+
+void FraigStage::run(FlowContext& ctx) const {
+  FraigParams params = ctx.params.fraig;
+  // Fold the per-run seed in so batch circuits draw distinct simulation
+  // patterns. run_batch derives ctx.seed deterministically per circuit, so
+  // batch results stay reproducible; under a finite conflict budget the
+  // seed can affect which borderline pairs prove in time (never soundness).
+  if (ctx.seed != 0) params.seed ^= ctx.seed;
+  ctx.current = fraig(ctx.current, params, &ctx.fraig_stats);
+  ctx.netlist.reset();
+  ctx.netlist_is_current = false;
+}
+
 // --- stage registry ---------------------------------------------------------
 
 namespace {
@@ -222,6 +237,7 @@ std::map<std::string, StageFactory>& registry() {
     map["SaExtract"] = [] { return StagePtr(new SaExtractStage()); };
     map["TechMap"] = [] { return StagePtr(new TechMapStage()); };
     map["Cec"] = [] { return StagePtr(new CecStage()); };
+    map["fraig"] = [] { return StagePtr(new FraigStage()); };
     return map;
   }();
   return stages;
@@ -292,6 +308,7 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
   ctx.qor = FlowQor{};
   ctx.rewrite_report = RunnerReport{};
   ctx.sa = SaResult{};
+  ctx.fraig_stats = FraigStats{};
   ctx.egraph_classes = 0;
   ctx.egraph_enodes = 0;
   ctx.initial_enodes = 0;
@@ -339,21 +356,29 @@ FlowResult Pipeline::run(const Aig& input, const FlowParams& params,
   return run(ctx);
 }
 
-Pipeline Pipeline::baseline() {
+Pipeline Pipeline::baseline() { return baseline(FlowParams{}); }
+
+Pipeline Pipeline::emorphic() { return emorphic(FlowParams{}); }
+
+Pipeline Pipeline::baseline(const FlowParams& params) {
   Pipeline pipeline;
+  if (params.fraig_pre) pipeline.add(StagePtr(new FraigStage()));
   pipeline.add(StagePtr(new ResynRoundsStage(ResynRoundsStage::Rounds::kAll)));
+  if (params.fraig_post) pipeline.add(StagePtr(new FraigStage()));
   pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/false)));
   return pipeline;
 }
 
-Pipeline Pipeline::emorphic() {
+Pipeline Pipeline::emorphic(const FlowParams& params) {
   Pipeline pipeline;
+  if (params.fraig_pre) pipeline.add(StagePtr(new FraigStage()));
   pipeline.add(
       StagePtr(new ResynRoundsStage(ResynRoundsStage::Rounds::kAllButLast)));
   pipeline.add(StagePtr(new EgraphConversionStage()));  // forward
   pipeline.add(StagePtr(new RewriteStage()));
   pipeline.add(StagePtr(new SaExtractStage()));
   pipeline.add(StagePtr(new EgraphConversionStage()));  // backward
+  if (params.fraig_post) pipeline.add(StagePtr(new FraigStage()));
   pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/true)));
   pipeline.add(StagePtr(new CecStage()));
   return pipeline;

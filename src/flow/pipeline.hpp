@@ -29,6 +29,7 @@
 #include "extract/sa_extractor.hpp"
 #include "flow/conversion.hpp"
 #include "mapper/tech_mapper.hpp"
+#include "opt/fraig.hpp"
 #include "opt/resyn.hpp"
 #include "opt/sop_balance.hpp"
 #include "util/thread_pool.hpp"
@@ -91,6 +92,18 @@ struct FlowParams {
   SaParams sa;                    // SA extraction parameters
   bool verify = true;             // cec the result against the input
   CecParams cec_params;
+  /// SAT-sweeping configuration for the "fraig" stage (sim rounds, conflict
+  /// limit, max class size, threads — see opt/fraig.hpp).
+  FraigParams fraig;
+  /// Opt-in fraig placement for the prebuilt flows: `fraig_pre` sweeps the
+  /// input before any optimization, `fraig_post` sweeps the optimized
+  /// network right before the final mapping. Honored by the
+  /// `Pipeline::baseline(params)` / `Pipeline::emorphic(params)` factories
+  /// (and therefore by `baseline_flow`/`emorphic_flow` and any `run_batch`
+  /// over those pipelines); the no-argument factories keep the historical
+  /// stage lists.
+  bool fraig_pre = false;
+  bool fraig_post = false;
 };
 
 /// Quality-of-result summary of a finished flow.
@@ -133,6 +146,8 @@ struct FlowResult {
   FlowTelemetry telemetry;
   RunnerReport rewrite_report;
   SaResult sa;
+  /// Counters of the last executed "fraig" stage (all-zero otherwise).
+  FraigStats fraig_stats;
   std::size_t egraph_classes = 0;
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
@@ -227,6 +242,7 @@ struct FlowContext {
   FlowQor qor;
   RunnerReport rewrite_report;
   SaResult sa;
+  FraigStats fraig_stats;
   std::size_t egraph_classes = 0;
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
@@ -341,6 +357,16 @@ class CecStage : public Stage {
   void run(FlowContext& ctx) const override;
 };
 
+/// SAT sweeping of ctx.current (see opt/fraig.hpp): merges
+/// proven-equivalent nodes, invalidating any mapped netlist. Configured by
+/// FlowParams::fraig; stats land in FlowResult::fraig_stats. Registered
+/// under the ABC-style lowercase name "fraig".
+class FraigStage : public Stage {
+ public:
+  const char* name() const override { return "fraig"; }
+  void run(FlowContext& ctx) const override;
+};
+
 // --- stage registry ---------------------------------------------------------
 
 using StageFactory = std::function<StagePtr()>;
@@ -394,6 +420,13 @@ class Pipeline {
   /// EgraphConversion (fwd); Rewrite; SaExtract; EgraphConversion (bwd);
   /// TechMap (resynth-gated final round); Cec.
   static Pipeline emorphic();
+
+  /// baseline()/emorphic() with the opt-in fraig placements applied:
+  /// `params.fraig_pre` inserts a "fraig" stage before everything,
+  /// `params.fraig_post` right before the final TechMap. With both flags
+  /// false these return the plain pipelines.
+  static Pipeline baseline(const FlowParams& params);
+  static Pipeline emorphic(const FlowParams& params);
 
  private:
   // Shared (not unique) so a Pipeline is cheap to copy and one instance can

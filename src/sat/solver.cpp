@@ -311,8 +311,34 @@ SatLit Solver::pick_branch() {
   return sat_lit(best, saved_phase_[best] != 1);
 }
 
+void Solver::analyze_final(SatLit p) {
+  // `p` is an assumption found falsified by the current (assumption-level)
+  // trail. Walk the implication graph of ~p back to the assumptions that
+  // forced it: those, plus p itself, are the failed set.
+  failed_.clear();
+  failed_.push_back(p);
+  if (trail_lim_.empty()) return;  // implied at level 0: {p} alone suffices
+  std::vector<bool> seen(num_vars(), false);
+  seen[sat_var(p)] = true;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    SatVar v = sat_var(trail_[i]);
+    if (!seen[v]) continue;
+    std::int32_t r = reason_[v];
+    if (r < 0) {
+      // A decision above level 0 during assumption re-establishment is
+      // always an assumed literal.
+      if (trail_[i] != p) failed_.push_back(trail_[i]);
+    } else {
+      for (SatLit l : clauses_[r].lits) {
+        if (level_[sat_var(l)] > 0) seen[sat_var(l)] = true;
+      }
+    }
+  }
+}
+
 SatResult Solver::solve(const std::vector<SatLit>& assumptions,
                         std::uint64_t conflict_limit, double time_limit_s) {
+  failed_.clear();
   if (unsat_) return SatResult::kUnsat;
   backtrack(0);
   if (propagate() >= 0) {
@@ -321,6 +347,7 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
   }
 
   Timer timer;
+  std::uint64_t conflicts_call = 0;  // conflict_limit is per solve() call
   std::uint64_t conflicts_here = 0;
   std::uint64_t restart_index = 0;
   std::uint64_t restart_budget = 64 * luby(restart_index);
@@ -331,6 +358,7 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
     std::int32_t conflict = propagate();
     if (conflict >= 0) {
       ++stats_.conflicts;
+      ++conflicts_call;
       ++conflicts_here;
       if (trail_lim_.empty()) {
         unsat_ = true;
@@ -339,12 +367,13 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
       std::vector<SatLit> learnt;
       std::uint32_t bt_level = 0;
       analyze(conflict, learnt, bt_level);
-      // Never backtrack past the assumptions.
-      std::uint32_t floor =
-          static_cast<std::uint32_t>(std::min<std::size_t>(
-              assumptions.size(), trail_lim_.size()));
-      backtrack(std::max(bt_level, 0u) < floor ? floor
-                                               : std::max(bt_level, 0u));
+      // Backtrack to the asserting level even when that unassigns
+      // assumptions — the decision loop below re-establishes them, and an
+      // assumption the learnt clause now falsifies surfaces there as an
+      // assumptions-only kUnsat. (Clamping to the assumption prefix instead
+      // would try to assert a literal that is already falsified at that
+      // level and misreport the conflict as a permanent one.)
+      backtrack(bt_level);
       if (learnt.size() == 1) {
         backtrack(0);
         if (!enqueue(learnt[0], -1)) {
@@ -368,10 +397,10 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
         }
       }
       decay();
-      if (conflict_limit > 0 && stats_.conflicts >= conflict_limit) {
+      if (conflict_limit > 0 && conflicts_call >= conflict_limit) {
         return SatResult::kUndecided;
       }
-      if (time_limit_s > 0.0 && (stats_.conflicts & 0x3ff) == 0 &&
+      if (time_limit_s > 0.0 && (conflicts_call & 0x3ff) == 0 &&
           timer.seconds() > time_limit_s) {
         return SatResult::kUndecided;
       }
@@ -393,7 +422,13 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
     if (trail_lim_.size() < assumptions.size()) {
       SatLit a = assumptions[trail_lim_.size()];
       std::uint8_t v = value(a);
-      if (v == 0) return SatResult::kUnsat;  // assumption conflict
+      if (v == 0) {
+        // UNSAT under the assumptions only: record which of them the
+        // refutation used and leave the solver reusable (ok() stays true).
+        analyze_final(a);
+        backtrack(0);
+        return SatResult::kUnsat;
+      }
       trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
       if (v == kUndef) {
         enqueue(a, -1);

@@ -44,11 +44,29 @@ class Solver {
   void add_ternary(SatLit a, SatLit b, SatLit c) { add_clause({a, b, c}); }
 
   /// Solve under optional assumptions. `conflict_limit` 0 = no limit;
-  /// exceeding it returns kUndecided (the cec effort knob). A positive
+  /// exceeding it within this call returns kUndecided (the cec/fraig effort
+  /// knob — the budget is per query, not per solver lifetime). A positive
   /// `time_limit_s` bounds wall-clock time the same way.
+  ///
+  /// The solver is incremental: clauses may be added between calls and the
+  /// learnt-clause database carries over, so repeated queries over one CNF
+  /// (the fraig/cec pattern) get cheaper as the solver warms up. A kUnsat
+  /// caused by the assumptions does not poison the solver — dropping the
+  /// offending assumption makes the instance solvable again; only a kUnsat
+  /// with no assumptions involved is permanent (see ok()).
   SatResult solve(const std::vector<SatLit>& assumptions = {},
                   std::uint64_t conflict_limit = 0,
                   double time_limit_s = 0.0);
+
+  /// False once the clause database itself is contradictory (UNSAT without
+  /// any assumptions): every further solve() returns kUnsat immediately.
+  /// Stays true after an assumptions-only kUnsat.
+  bool ok() const { return !unsat_; }
+
+  /// After solve() returned kUnsat *because of the assumptions*: the subset
+  /// of the assumption literals the refutation actually used (MiniSat's
+  /// final conflict analysis). Empty when the database is unsat outright.
+  const std::vector<SatLit>& failed_assumptions() const { return failed_; }
 
   /// Model access after kSat.
   bool model_value(SatVar v) const { return model_[v]; }
@@ -70,6 +88,7 @@ class Solver {
   };
 
   bool enqueue(SatLit lit, std::int32_t reason);
+  void analyze_final(SatLit p);
   void reduce_learnt_db();
   std::int32_t propagate();  // returns conflicting clause index or -1
   void analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
@@ -98,6 +117,7 @@ class Solver {
   std::vector<double> activity_;
   double var_inc_ = 1.0;
   std::vector<bool> model_;
+  std::vector<SatLit> failed_;  // see failed_assumptions()
   bool unsat_ = false;
   SolverStats stats_;
 

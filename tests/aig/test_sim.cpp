@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace emorphic {
 namespace {
@@ -71,6 +72,81 @@ TEST(Sim, PoSignatureComplementHandling) {
   for (unsigned w = 0; w < 4; ++w) {
     EXPECT_EQ(sig[0 * 4 + w], ~sig[1 * 4 + w]);
   }
+}
+
+TEST(Sim, MultiWordMatchesPerWordSimulation) {
+  Rng rng(7);
+  Aig aig = testing::random_aig(8, 4, 60, rng);
+  const unsigned w = 5;
+  std::vector<std::uint64_t> pi_words(
+      static_cast<std::size_t>(aig.num_pis()) * w);
+  for (auto& word : pi_words) word = rng.next();
+  auto multi = simulate_words_multi(aig, pi_words, w);
+  for (unsigned k = 0; k < w; ++k) {
+    std::vector<std::uint64_t> column(aig.num_pis());
+    for (std::uint32_t pi = 0; pi < aig.num_pis(); ++pi) {
+      column[pi] = pi_words[static_cast<std::size_t>(pi) * w + k];
+    }
+    auto single = simulate_words(aig, column);
+    for (Var v = 0; v < aig.num_nodes(); ++v) {
+      ASSERT_EQ(multi[static_cast<std::size_t>(v) * w + k], single[v]);
+    }
+  }
+}
+
+TEST(Sim, MultiWordParallelEqualsSerial) {
+  Rng rng(8);
+  Aig aig = testing::random_aig(10, 4, 120, rng);
+  const unsigned w = 13;
+  std::vector<std::uint64_t> pi_words(
+      static_cast<std::size_t>(aig.num_pis()) * w);
+  for (auto& word : pi_words) word = rng.next();
+  auto serial = simulate_words_multi(aig, pi_words, w);
+  ThreadPool pool(4);
+  auto parallel = simulate_words_multi(aig, pi_words, w, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Sim, ExpandPatternReplaysExactAssignmentInBitZero) {
+  Rng rng(9);
+  std::vector<bool> pattern{true, false, true, true, false};
+  auto words = expand_pattern(pattern, rng, /*flip_p=*/0.5);
+  ASSERT_EQ(words.size(), pattern.size());
+  for (std::size_t pi = 0; pi < pattern.size(); ++pi) {
+    EXPECT_EQ((words[pi] & 1) != 0, pattern[pi]);
+  }
+  // flip_p = 0 reproduces the assignment in every bit.
+  auto pure = expand_pattern(pattern, rng, /*flip_p=*/0.0);
+  for (std::size_t pi = 0; pi < pattern.size(); ++pi) {
+    EXPECT_EQ(pure[pi], pattern[pi] ? ~0ull : 0ull);
+  }
+}
+
+TEST(Sim, CounterexampleReplaySplitsSignatures) {
+  // f = a & b and g = a agree on every pattern with b = 1 — simulate with
+  // such patterns and their signatures collide. Replaying the refuting
+  // assignment {a=1, b=0} (what a SAT counterexample hands back) must split
+  // them: bit 0 of the replay word distinguishes f from g by construction.
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  Lit f = aig.make_and(a, b);
+  aig.add_po(f);
+  aig.add_po(a);
+
+  // Patterns where b is all-ones: f and g are indistinguishable.
+  std::vector<std::uint64_t> collide{0b0110ull, ~0ull};
+  auto before = simulate_words(aig, collide);
+  ASSERT_EQ(before[lit_var(f)], before[lit_var(a)]);
+
+  // The counterexample, amplified with random neighbors.
+  Rng rng(10);
+  std::vector<bool> cex{true, false};
+  auto replay = expand_pattern(cex, rng);
+  auto after = simulate_words(aig, replay);
+  EXPECT_NE(after[lit_var(f)], after[lit_var(a)]);
+  EXPECT_NE(after[lit_var(f)] & 1, after[lit_var(a)] & 1)
+      << "bit 0 must replay the exact refuting assignment";
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ class CountingObserver : public FlowObserver {
 TEST(Pipeline, RegistryKnowsBuiltinStages) {
   std::vector<std::string> names = registered_stage_names();
   for (const char* expected : {"ResynRounds", "EgraphConversion", "Rewrite",
-                               "SaExtract", "TechMap", "Cec"}) {
+                               "SaExtract", "TechMap", "Cec", "fraig"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing built-in stage " << expected;
   }
