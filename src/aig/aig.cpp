@@ -102,6 +102,26 @@ std::vector<std::uint32_t> Aig::fanout_counts() const {
   return count;
 }
 
+void Aig::mark_cone(Var root, std::vector<std::uint8_t>& mark) const {
+  std::vector<Var> stack{root};
+  while (!stack.empty()) {
+    Var v = stack.back();
+    stack.pop_back();
+    if (mark[v]) continue;
+    mark[v] = 1;
+    if (nodes_[v].type == NodeType::kAnd) {
+      stack.push_back(lit_var(nodes_[v].fanin0));
+      stack.push_back(lit_var(nodes_[v].fanin1));
+    }
+  }
+}
+
+std::vector<std::uint8_t> Aig::po_reachable() const {
+  std::vector<std::uint8_t> mark(nodes_.size(), 0);
+  for (Lit po : pos_) mark_cone(lit_var(po), mark);
+  return mark;
+}
+
 std::vector<Var> Aig::topo_order() const {
   std::vector<Var> order;
   order.reserve(nodes_.size() - 1);

@@ -114,6 +114,15 @@ class Aig {
   /// Number of fanouts of each variable (POs count as fanouts).
   std::vector<std::uint32_t> fanout_counts() const;
 
+  /// Mark the transitive fanin cone of `root` (root included) in `mark`,
+  /// which must be sized num_nodes(); already-marked nodes stop the
+  /// descent, so repeated calls accumulate a union of cones cheaply.
+  void mark_cone(Var root, std::vector<std::uint8_t>& mark) const;
+  /// mark[v] = 1 iff v lies in the transitive fanin cone of some PO —
+  /// i.e. v is live logic. Shared by the mapper's area-flow reference
+  /// estimate and the choice export's compaction.
+  std::vector<std::uint8_t> po_reachable() const;
+
   /// Variables in topological order (which is just index order).
   /// Provided for readability at call sites.
   std::vector<Var> topo_order() const;

@@ -1,0 +1,192 @@
+#include "aig/choice.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace emorphic {
+
+AigChoices::AigChoices(std::size_t num_nodes) {
+  repr_.resize(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    repr_[v] = make_lit(static_cast<Var>(v));
+  }
+}
+
+const std::vector<Var>& AigChoices::ring(Var rep) const {
+  static const std::vector<Var> kEmpty;
+  auto it = rings_.find(rep);
+  return it != rings_.end() ? it->second : kEmpty;
+}
+
+std::size_t AigChoices::num_alts() const {
+  std::size_t total = 0;
+  for (const auto& [rep, members] : rings_) total += members.size();
+  return total;
+}
+
+void AigChoices::add_member(Var rep, Var member, bool phase) {
+  assert(member < repr_.size() && rep < repr_.size());
+  assert(!is_alt(member) && !has_ring(member) && "rings must stay disjoint");
+  repr_[member] = make_lit(rep, phase);
+  rings_[rep].push_back(member);
+}
+
+void AigChoices::remove_member(Var rep, Var member) {
+  auto it = rings_.find(rep);
+  if (it == rings_.end()) return;
+  std::erase(it->second, member);
+  if (it->second.empty()) rings_.erase(it);
+  repr_[member] = make_lit(member);
+}
+
+std::size_t AigChoices::finalize(const Aig& aig) {
+  const std::size_t n = aig.num_nodes();
+  assert(repr_.size() == n);
+
+  // Dependency edges: fanin -> node for every AND, member -> representative
+  // for every ring member. The fanin relation alone is acyclic (AIG node
+  // indices are topological); only ring edges can deadlock the schedule.
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<Var>> out(n);
+  for (Var v = 1; v < n; ++v) {
+    if (!aig.is_and(v)) continue;
+    Var f0 = lit_var(aig.fanin0(v));
+    Var f1 = lit_var(aig.fanin1(v));
+    out[f0].push_back(v);
+    ++indegree[v];
+    out[f1].push_back(v);
+    ++indegree[v];
+  }
+  for (const auto& [rep, members] : rings_) {
+    for (Var m : members) {
+      out[m].push_back(rep);
+      ++indegree[rep];
+    }
+  }
+
+  // Kahn's algorithm with a min-heap ready set, so the order (and therefore
+  // every downstream pass) is deterministic.
+  std::priority_queue<Var, std::vector<Var>, std::greater<Var>> ready;
+  for (Var v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push(v);
+  }
+
+  order_.clear();
+  order_.reserve(n);
+  std::vector<std::uint8_t> scheduled(n, 0);
+  std::size_t dropped = 0;
+  while (order_.size() < n) {
+    if (ready.empty()) {
+      // Deadlock: some ring edge closes a cycle (mutually referencing
+      // alternative cones). Drop the unscheduled members of the smallest
+      // stuck representative and retry — removing ring edges always
+      // unsticks a schedule, because the fanin relation is a DAG.
+      bool progressed = false;
+      std::vector<Var> stuck_reps;
+      for (const auto& [rep, members] : rings_) {
+        if (!scheduled[rep]) stuck_reps.push_back(rep);
+      }
+      std::sort(stuck_reps.begin(), stuck_reps.end());
+      for (Var rep : stuck_reps) {
+        std::vector<Var>& members = rings_.at(rep);
+        std::vector<Var> keep;
+        for (Var m : members) {
+          if (scheduled[m]) {
+            keep.push_back(m);
+          } else {
+            repr_[m] = make_lit(m);
+            assert(indegree[rep] > 0);
+            --indegree[rep];
+            // Retire the edge itself, or m's eventual scheduling would
+            // decrement indegree[rep] a second time (one erase: a fanin
+            // edge onto the same target must keep its own count).
+            auto edge = std::find(out[m].begin(), out[m].end(), rep);
+            assert(edge != out[m].end());
+            if (edge != out[m].end()) out[m].erase(edge);
+            ++dropped;
+            progressed = true;
+          }
+        }
+        if (progressed) {
+          members = std::move(keep);
+          if (members.empty()) rings_.erase(rep);
+          if (indegree[rep] == 0) ready.push(rep);
+          break;
+        }
+      }
+      assert(progressed && "schedule stuck without any ring edge to drop");
+      if (!progressed) break;  // defensive: never reached on a valid AIG
+      continue;
+    }
+    Var v = ready.top();
+    ready.pop();
+    if (scheduled[v]) continue;
+    scheduled[v] = 1;
+    order_.push_back(v);
+    for (Var w : out[v]) {
+      if (--indegree[w] == 0 && !scheduled[w]) ready.push(w);
+    }
+  }
+  return dropped;
+}
+
+std::string AigChoices::check(const Aig& aig) const {
+  const std::size_t n = aig.num_nodes();
+  if (repr_.size() != n) return "repr size does not match the AIG";
+  std::vector<std::uint8_t> role(n, 0);  // 0 plain, 1 rep, 2 alt
+  for (const auto& [rep, members] : rings_) {
+    if (rep >= n) return "ring representative out of range";
+    if (members.empty()) return "empty ring stored";
+    if (role[rep] != 0) return "variable plays two ring roles";
+    role[rep] = 1;
+  }
+  for (const auto& [rep, members] : rings_) {
+    for (Var m : members) {
+      if (m >= n) return "ring member out of range";
+      if (role[m] != 0) return "variable plays two ring roles";
+      role[m] = 2;
+      if (lit_var(repr_[m]) != rep) {
+        return "ring member's repr literal does not aim at its ring";
+      }
+    }
+  }
+  for (Var v = 0; v < n; ++v) {
+    if (role[v] == 2) continue;
+    if (repr_[v] != make_lit(v)) {
+      return "non-member variable with a non-identity repr literal";
+    }
+  }
+  if (order_.size() != n) return "order is not a permutation (wrong size)";
+  std::vector<std::uint32_t> pos(n, 0);
+  std::vector<std::uint8_t> seen(n, 0);
+  for (std::uint32_t i = 0; i < order_.size(); ++i) {
+    Var v = order_[i];
+    if (v >= n || seen[v]) return "order is not a permutation";
+    seen[v] = 1;
+    pos[v] = i;
+  }
+  for (Var v = 1; v < n; ++v) {
+    if (!aig.is_and(v)) continue;
+    if (pos[lit_var(aig.fanin0(v))] >= pos[v] ||
+        pos[lit_var(aig.fanin1(v))] >= pos[v]) {
+      return "order violates a fanin edge";
+    }
+  }
+  for (const auto& [rep, members] : rings_) {
+    for (Var m : members) {
+      if (pos[m] >= pos[rep]) return "order violates a ring edge";
+    }
+  }
+  return "";
+}
+
+ChoiceAig ChoiceAig::from_plain(const Aig& aig) {
+  ChoiceAig result;
+  result.aig = aig;
+  result.choices = AigChoices(result.aig.num_nodes());
+  result.choices.finalize(result.aig);
+  return result;
+}
+
+}  // namespace emorphic

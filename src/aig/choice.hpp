@@ -1,0 +1,122 @@
+#pragma once
+// Choice-annotated AIGs: the structure that carries *several* functionally
+// equivalent implementations of a signal into technology mapping, in the
+// spirit of ABC's choice AIGs (`dch`) and of lossless synthesis.
+//
+// A choice class is a ring of AIG variables that compute the same function
+// up to complement. One member — the *representative* — carries all the
+// fanout: every fanin edge and every PO referencing the class points at the
+// representative. The other members (the *alternatives*) are roots of
+// additional structural variants whose cones hang off the same deeper
+// representatives; nothing references them, so they are invisible to plain
+// evaluation, but a choice-aware cut enumerator merges their cuts into the
+// representative's cut set and the mapper then selects the best match
+// across all variants (see aig/cut.hpp and mapper/tech_mapper.hpp).
+//
+// Complements are normalized the way fraig normalizes candidate classes:
+// each member stores a representative *literal* whose complement bit says
+// whether the member's positive function is the negation of the
+// representative's positive function. Cut functions imported from a
+// complemented member are negated before they join the representative's
+// cut set, so every cut in a representative's list expresses the
+// representative's positive polarity.
+//
+// In E-morphic, choice rings are exported from the saturated e-graph
+// (flow/choice_export.hpp): the representative cone is the extraction the
+// SA search committed to, and the alternatives are the other e-nodes of
+// each e-class — the structures ABC's `dch` choices would never record.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// Choice annotation over the variables of one Aig. Default-constructed (or
+/// sized with no members added) it is the trivial annotation: every
+/// variable represents itself and choice-aware consumers behave exactly
+/// like their plain counterparts.
+class AigChoices {
+ public:
+  AigChoices() = default;
+  /// Trivial annotation over `num_nodes` variables.
+  explicit AigChoices(std::size_t num_nodes);
+
+  /// Number of annotated variables (must equal the Aig's num_nodes()).
+  std::size_t size() const { return repr_.size(); }
+
+  /// Representative literal of `v`'s choice class. For ordinary variables
+  /// and for representatives this is `make_lit(v)`; for an alternative it
+  /// is `make_lit(rep, phase)` where `phase` says the alternative's
+  /// positive function is the complement of the representative's.
+  Lit repr_lit(Var v) const { return repr_[v]; }
+  /// Representative variable of `v`'s choice class.
+  Var repr(Var v) const { return lit_var(repr_[v]); }
+  /// Is `v` an alternative (a ring member that is not the representative)?
+  bool is_alt(Var v) const { return lit_var(repr_[v]) != v; }
+  /// Does `rep` head a non-empty choice ring?
+  bool has_ring(Var rep) const { return rings_.count(rep) != 0; }
+  /// The alternatives of representative `rep` (empty for ordinary vars).
+  const std::vector<Var>& ring(Var rep) const;
+
+  /// Number of representatives with at least one alternative.
+  std::size_t num_rings() const { return rings_.size(); }
+  /// Total number of alternatives across all rings.
+  std::size_t num_alts() const;
+
+  /// Evaluation order over all variables (var 0 included): a topological
+  /// order of the dependency relation "fanins before node, ring members
+  /// before their representative". Choice-aware passes (cut enumeration,
+  /// the mapper DP) must traverse in this order — plain index order is NOT
+  /// sufficient, because an alternative cone may carry larger indices than
+  /// the representative it feeds cuts into. Empty until finalize() runs;
+  /// equals plain index order when there are no rings.
+  const std::vector<Var>& order() const { return order_; }
+
+  // --- construction (used by the e-graph choice export) ---------------------
+
+  /// Record `member` as an alternative of `rep`; `phase` = true when the
+  /// member's positive function complements the representative's. The
+  /// member must not already be a representative or an alternative
+  /// (rings stay disjoint) — enforced by finalize()/check().
+  void add_member(Var rep, Var member, bool phase);
+
+  /// Remove a previously added member from its ring (used when
+  /// verification rejects it).
+  void remove_member(Var rep, Var member);
+
+  /// Compute order() with Kahn's algorithm over fanin and ring edges.
+  /// Ring edges can close cycles that plain fanin edges cannot (mutually
+  /// referencing alternative cones); any member whose scheduling would
+  /// deadlock is dropped from its ring (counted in the return value) so
+  /// the order always covers every variable. Call after the last
+  /// add_member/remove_member.
+  std::size_t finalize(const Aig& aig);
+
+  /// Structural validation: sizes match, rings are disjoint, repr links and
+  /// rings agree, order() is a permutation respecting fanin and ring edges.
+  /// Returns an empty string when consistent, else a description of the
+  /// first violation. O(nodes + edges); used by tests and the export.
+  std::string check(const Aig& aig) const;
+
+ private:
+  std::vector<Lit> repr_;                          // per var; make_lit(v) if plain
+  std::unordered_map<Var, std::vector<Var>> rings_;  // rep -> alternatives
+  std::vector<Var> order_;                         // see order()
+};
+
+/// An AIG bundled with its choice annotation — the unit that choice-aware
+/// technology mapping consumes (map_to_cells overload in tech_mapper.hpp).
+struct ChoiceAig {
+  Aig aig;
+  AigChoices choices;
+
+  /// Wrap a plain AIG with the trivial annotation (no rings): choice-aware
+  /// consumers then reproduce their plain counterparts exactly.
+  static ChoiceAig from_plain(const Aig& aig);
+};
+
+}  // namespace emorphic

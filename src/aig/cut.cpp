@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "aig/choice.hpp"
+
 namespace emorphic {
 
 bool Cut::subset_of(const Cut& other) const {
@@ -16,7 +18,18 @@ bool Cut::subset_of(const Cut& other) const {
 }
 
 CutManager::CutManager(const Aig& aig, const CutParams& params, CutArena* arena)
-    : aig_(aig), params_(params), arena_(arena != nullptr ? arena : &own_) {
+    : CutManager(aig, static_cast<const AigChoices*>(nullptr), params, arena) {}
+
+CutManager::CutManager(const Aig& aig, const AigChoices& choices,
+                       const CutParams& params, CutArena* arena)
+    : CutManager(aig, &choices, params, arena) {}
+
+CutManager::CutManager(const Aig& aig, const AigChoices* choices,
+                       const CutParams& params, CutArena* arena)
+    : aig_(aig),
+      params_(params),
+      choices_(choices),
+      arena_(arena != nullptr ? arena : &own_) {
   // A 1-feasible cut cannot cover an AND node and an oversize cut overflows
   // Cut::leaves; both are hard errors in every build mode, not just asserts.
   if (params_.cut_size < 2 || params_.cut_size > kMaxCutSize) {
@@ -25,6 +38,12 @@ CutManager::CutManager(const Aig& aig, const CutParams& params, CutArena* arena)
         "], got " + std::to_string(params_.cut_size));
   }
   const std::size_t n = aig_.num_nodes();
+  if (choices_ != nullptr &&
+      (choices_->size() != n || choices_->order().size() != n)) {
+    throw std::invalid_argument(
+        "CutManager: choice annotation does not fit the AIG (missing "
+        "finalize()?)");
+  }
   // Recycle the arena's vectors: grow if needed, clear (keeping capacity)
   // the slots this AIG will use.
   if (arena_->slots.size() < n) arena_->slots.resize(n);
@@ -38,17 +57,68 @@ CutManager::CutManager(const Aig& aig, const CutParams& params, CutArena* arena)
 
   // Constant node: a single empty cut whose function is constant 0.
   arena_->slots[0].push_back(Cut{});
-  for (Var v = 1; v < aig_.num_nodes(); ++v) {
+
+  // With choices, a representative's merged list must be complete before
+  // any node consumes it, and a ring member can carry a *larger* index
+  // than its representative — so the traversal follows the annotation's
+  // schedule (members before representative) instead of index order.
+  auto process = [&](Var v) {
+    if (v == 0) return;
     if (aig_.is_pi(v)) {
       Cut trivial;
       trivial.size = 1;
       trivial.leaves[0] = v;
       trivial.tt = tt_var(0, 1);
       arena_->slots[v].push_back(trivial);
-    } else {
-      compute(v);
+      return;
+    }
+    compute(v);
+    if (choices_ != nullptr && choices_->has_ring(v)) merge_choice_cuts(v);
+  };
+  if (choices_ != nullptr) {
+    for (Var v : choices_->order()) process(v);
+  } else {
+    for (Var v = 1; v < aig_.num_nodes(); ++v) process(v);
+  }
+}
+
+void CutManager::merge_choice_cuts(Var rep) {
+  std::vector<Cut>& slot = arena_->slots[rep];
+  // The plain list ends with the trivial cut; member cuts slot in before it
+  // so the "trivial cut last" contract survives merging.
+  Cut trivial = slot.back();
+  slot.pop_back();
+
+  auto already_present = [&](const Cut& cut) {
+    for (const Cut& c : slot) {
+      if (c.size != cut.size) continue;
+      if (std::equal(c.leaves.begin(), c.leaves.begin() + c.size,
+                     cut.leaves.begin())) {
+        return true;  // same leaves => same function: a true duplicate
+      }
+    }
+    return false;
+  };
+
+  // Append up to num_cuts member cuts. Plain cuts keep their positions and
+  // are never displaced — on ties the mapper therefore lands on exactly the
+  // plain selection, and choice mapping can only match plain mapping or
+  // beat it.
+  std::size_t budget = params_.num_cuts;
+  for (Var m : choices_->ring(rep)) {
+    if (budget == 0) break;
+    const bool phase = lit_is_compl(choices_->repr_lit(m));
+    for (const Cut& member_cut : arena_->slots[m]) {
+      if (budget == 0) break;
+      if (member_cut.is_trivial(m)) continue;
+      Cut adjusted = member_cut;
+      if (phase) adjusted.tt = tt_not(adjusted.tt, adjusted.size);
+      if (already_present(adjusted)) continue;
+      slot.push_back(adjusted);
+      --budget;
     }
   }
+  slot.push_back(trivial);
 }
 
 bool CutManager::merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b,

@@ -6,6 +6,14 @@
 // Each cut carries its local function as a truth table over the (sorted)
 // leaves, computed incrementally during the merge, so complemented AIG edges
 // inside the cone are absorbed into the cut function.
+//
+// When an AigChoices annotation (aig/choice.hpp) is supplied, enumeration
+// is *choice-aware*: nodes are visited in the annotation's evaluation order
+// and, at each choice-class representative, the cut sets of all ring
+// members are merged (complement-normalized) into the representative's
+// list. Cuts therefore cross structural variants — the property ABC's
+// `if` mapper gets from `dch` choices — and the mapper picks the best
+// match over the whole class (see docs/mapping-internals.md).
 
 #include <array>
 #include <cstdint>
@@ -16,6 +24,13 @@
 
 namespace emorphic {
 
+class AigChoices;
+
+/// Hard upper bound on cut width: the truth table of a cut function must
+/// fit one 64-bit word (2^6 minterms). This is the *enumeration* limit —
+/// SOP balancing runs at the full K = 6; standard-cell matching is further
+/// bounded by kMaxCellPins (mapper/cell_library.hpp), the NPN matcher's
+/// 4-variable domain.
 inline constexpr unsigned kMaxCutSize = 6;
 
 struct Cut {
@@ -52,23 +67,41 @@ class CutManager {
   CutManager(const Aig& aig, const CutParams& params,
              CutArena* arena = nullptr);
 
+  /// Choice-aware enumeration: traverse in `choices.order()` (which must be
+  /// finalized) and merge every ring member's cuts into its
+  /// representative's list, complemented as the member's phase dictates.
+  /// Every cut of a representative then expresses the representative's
+  /// positive function, whatever variant it was enumerated in. Throws
+  /// std::invalid_argument when the annotation does not fit the AIG.
+  CutManager(const Aig& aig, const AigChoices& choices,
+             const CutParams& params, CutArena* arena = nullptr);
+
   // arena_ may point at the own_ member, so compiler-generated copies/moves
   // would dangle.
   CutManager(const CutManager&) = delete;
   CutManager& operator=(const CutManager&) = delete;
 
-  /// Cuts of node `v`; the trivial cut is always last.
+  /// Cuts of node `v`; the trivial cut is always last. For a choice-class
+  /// representative this is the merged, cross-variant list: the plain cuts
+  /// first (in their plain priority order, so choice-free behavior is
+  /// bit-identical to the plain constructor), then up to `num_cuts`
+  /// deduplicated member cuts.
   const std::vector<Cut>& cuts(Var v) const { return arena_->slots[v]; }
 
   const Aig& aig() const { return aig_; }
   const CutParams& params() const { return params_; }
 
  private:
+  CutManager(const Aig& aig, const AigChoices* choices,
+             const CutParams& params, CutArena* arena);
+
   void compute(Var v);
+  void merge_choice_cuts(Var rep);
   bool merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b, Cut& out) const;
 
   const Aig& aig_;
   CutParams params_;
+  const AigChoices* choices_;  // null = plain enumeration
   CutArena own_;      // used when no external arena is provided
   CutArena* arena_;   // &own_ or the caller's reusable arena
 };

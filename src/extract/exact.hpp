@@ -17,7 +17,9 @@ namespace emorphic {
 bool solution_is_well_founded(const EGraph& egraph, const Extraction& solution,
                               const std::vector<SerializedRoot>& roots);
 
+/// Configuration of the exhaustive extraction oracle.
 struct ExactParams {
+  /// Cost model to minimize.
   CostModel cost{CostKind::kSize};
   /// Give up (return nullopt) when the full assignment space exceeds this.
   std::uint64_t max_combinations = 1u << 22;

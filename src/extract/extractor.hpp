@@ -47,20 +47,29 @@ struct CostModel {
 /// within `eclass(id).nodes` (kNoChoice if the class is not selected).
 class Extraction {
  public:
+  /// Sentinel choice index: the class is not part of the solution.
   static constexpr std::uint32_t kNoChoice = 0xffffffffu;
 
+  /// A solution over `num_class_slots` classes, all initially unchosen.
   explicit Extraction(std::size_t num_class_slots = 0)
       : choice_(num_class_slots, kNoChoice) {}
 
+  /// Has a node been chosen for class `cls`?
   bool has(EClassId cls) const {
     return cls < choice_.size() && choice_[cls] != kNoChoice;
   }
+  /// Index of the chosen e-node within `eclass(cls).nodes` (unchecked;
+  /// call has() first).
   std::uint32_t choice(EClassId cls) const { return choice_[cls]; }
+  /// Select node `node_index` for class `cls` (growing the slot table as
+  /// needed).
   void choose(EClassId cls, std::uint32_t node_index) {
     if (cls >= choice_.size()) choice_.resize(cls + 1, kNoChoice);
     choice_[cls] = node_index;
   }
+  /// Number of class slots (>= every chosen class id + 1).
   std::size_t size() const { return choice_.size(); }
+  /// The raw per-class choice table (kNoChoice for unchosen slots).
   const std::vector<std::uint32_t>& raw() const { return choice_; }
 
  private:
@@ -69,20 +78,31 @@ class Extraction {
 
 /// Instrumentation for the Fig. 6 pruning experiment.
 struct ExtractStats {
-  std::size_t enodes_visited = 0;  // cost evaluations performed
-  std::size_t enodes_skipped = 0;  // evaluations avoided by pruning
-  std::size_t passes = 0;          // worklist pops / full passes
+  /// Cost evaluations performed.
+  std::size_t enodes_visited = 0;
+  /// Evaluations avoided by pruning.
+  std::size_t enodes_skipped = 0;
+  /// Worklist pops / full passes.
+  std::size_t passes = 0;
 };
 
+/// "Not yet reachable" cost sentinel of the bottom-up relaxation.
 inline constexpr double kInfCost = std::numeric_limits<double>::infinity();
 
+/// Configuration of one bottom_up_extract run (Algorithm 1).
 struct BottomUpOptions {
-  const CostModel* cost = nullptr;     // required
-  double p_random = 0.0;               // Algorithm 1's random skip chance
-  Rng* rng = nullptr;                  // required when p_random > 0
-  bool prune = true;                   // solution-space pruning on/off
-  const Extraction* warm_start = nullptr;  // O_current in Algorithm 1
-  ExtractStats* stats = nullptr;       // optional instrumentation
+  /// Cost model to minimize (required).
+  const CostModel* cost = nullptr;
+  /// Algorithm 1's random skip chance (exploration for SA neighbors).
+  double p_random = 0.0;
+  /// RNG for the random skips; required when p_random > 0.
+  Rng* rng = nullptr;
+  /// Solution-space pruning (Fig. 6) on/off.
+  bool prune = true;
+  /// O_current in Algorithm 1: seed the pass with an existing solution.
+  const Extraction* warm_start = nullptr;
+  /// Optional instrumentation counters.
+  ExtractStats* stats = nullptr;
   /// Classes whose cost contribution is discounted to zero (they are
   /// already paid for elsewhere) — the marginal-cost trick behind
   /// dag_refine(). May make selections cyclic; callers must validate.

@@ -73,27 +73,42 @@ struct SaParams {
 
 /// One point of the annealing trace (for the Fig. 4 bench / diagnostics).
 struct SaTracePoint {
+  /// Annealing chain (thread) index.
   unsigned thread = 0;
+  /// Iteration of the schedule this move belongs to.
   unsigned iteration = 0;
+  /// Move index within the iteration.
   unsigned move = 0;
+  /// Temperature at evaluation time.
   double temperature = 0.0;
+  /// Scalar cost of the evaluated neighbor.
   double candidate_cost = 0.0;
+  /// Scalar cost of the incumbent at evaluation time.
   double current_cost = 0.0;
+  /// Metropolis verdict for this move.
   bool accepted = false;
   /// The candidate's Qor came from the per-run memo, not the evaluator.
   bool cache_hit = false;
 };
 
+/// Everything a finished SA extraction reports.
 struct SaResult {
+  /// The best extraction found across all chains.
   Extraction best;
+  /// Its evaluated quality of result.
   Qor best_qor;
+  /// Its scalar cost (QorEvaluator::cost of best_qor).
   double best_cost = 0.0;
-  std::size_t evaluations = 0;   // QoR evaluator calls (memo misses)
+  /// QoR evaluator calls (memo misses).
+  std::size_t evaluations = 0;
   /// Qor-memo telemetry (zero when SaParams::memoize_qor is off).
   std::size_t qor_cache_hits = 0;
   std::size_t qor_cache_misses = 0;
+  /// Wall clock of the whole extraction.
   double seconds = 0.0;
-  ExtractStats extract_stats;    // summed over all neighbor generations
+  /// Neighbor-generation counters, summed over all chains and moves.
+  ExtractStats extract_stats;
+  /// Per-move trace (see SaTracePoint); chains interleave.
   std::vector<SaTracePoint> trace;
 };
 

@@ -40,6 +40,7 @@ FlowResult FlowContext::take_result() {
   result.rewrite_report = std::move(rewrite_report);
   result.sa = std::move(sa);
   result.fraig_stats = fraig_stats;
+  result.choice_stats = choice_stats;
   result.egraph_classes = egraph_classes;
   result.egraph_enodes = egraph_enodes;
   result.initial_enodes = initial_enodes;
@@ -215,6 +216,37 @@ void FraigStage::run(FlowContext& ctx) const {
   ctx.netlist_is_current = false;
 }
 
+// --- choicemap --------------------------------------------------------------
+
+void ChoiceMapStage::run(FlowContext& ctx) const {
+  if (!ctx.egraph.has_value()) {
+    throw std::runtime_error(
+        "choicemap stage needs an e-graph: add EgraphConversion first");
+  }
+  const FlowParams& params = ctx.params;
+  // The committed extraction defines the representative cone; the rings
+  // carry everything else the saturation discovered.
+  Extraction solution =
+      ctx.sa_valid
+          ? ctx.sa.best
+          : greedy_extract(ctx.egraph->egraph, CostModel{CostKind::kDepth});
+  ChoiceAig choice_aig = egraph_to_choice_aig(*ctx.egraph, solution,
+                                              params.choice_export,
+                                              &ctx.choice_stats);
+  // ctx.current is the plain extraction (what verification and downstream
+  // stages see); the netlist maps the same function across all variants,
+  // Pareto-gated so the rings can only improve the cover, never hurt it.
+  ctx.current = egraph_to_aig(*ctx.egraph, solution);
+  const Matcher& matcher = *ctx.shared_matcher();
+  ChoiceMapOutcome outcome = map_with_choices_gated(
+      choice_aig, matcher, params.mapping, &ctx.mapper_workspace);
+  ctx.netlist = std::move(outcome.netlist);
+  ctx.netlist_is_current = true;
+  ctx.qor.area = ctx.netlist->area();
+  ctx.qor.delay = ctx.netlist->delay();
+  ctx.qor.lev = ctx.current.num_levels();
+}
+
 // --- stage registry ---------------------------------------------------------
 
 namespace {
@@ -238,6 +270,7 @@ std::map<std::string, StageFactory>& registry() {
     map["TechMap"] = [] { return StagePtr(new TechMapStage()); };
     map["Cec"] = [] { return StagePtr(new CecStage()); };
     map["fraig"] = [] { return StagePtr(new FraigStage()); };
+    map["choicemap"] = [] { return StagePtr(new ChoiceMapStage()); };
     return map;
   }();
   return stages;
@@ -309,6 +342,7 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
   ctx.rewrite_report = RunnerReport{};
   ctx.sa = SaResult{};
   ctx.fraig_stats = FraigStats{};
+  ctx.choice_stats = ChoiceExportStats{};
   ctx.egraph_classes = 0;
   ctx.egraph_enodes = 0;
   ctx.initial_enodes = 0;
@@ -377,9 +411,17 @@ Pipeline Pipeline::emorphic(const FlowParams& params) {
   pipeline.add(StagePtr(new EgraphConversionStage()));  // forward
   pipeline.add(StagePtr(new RewriteStage()));
   pipeline.add(StagePtr(new SaExtractStage()));
-  pipeline.add(StagePtr(new EgraphConversionStage()));  // backward
-  if (params.fraig_post) pipeline.add(StagePtr(new FraigStage()));
-  pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/true)));
+  if (params.use_choicemap) {
+    // Choice-aware tail: one stage lowers the SA winner plus the verified
+    // alternative rings and maps across all of them. fraig_post has no
+    // network to sweep here (the stage rebuilds ctx.current from the
+    // e-graph), so it is ignored in this configuration.
+    pipeline.add(StagePtr(new ChoiceMapStage()));
+  } else {
+    pipeline.add(StagePtr(new EgraphConversionStage()));  // backward
+    if (params.fraig_post) pipeline.add(StagePtr(new FraigStage()));
+    pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/true)));
+  }
   pipeline.add(StagePtr(new CecStage()));
   return pipeline;
 }

@@ -27,6 +27,7 @@
 #include "cec/cec.hpp"
 #include "egraph/runner.hpp"
 #include "extract/sa_extractor.hpp"
+#include "flow/choice_export.hpp"
 #include "flow/conversion.hpp"
 #include "mapper/tech_mapper.hpp"
 #include "opt/fraig.hpp"
@@ -104,6 +105,17 @@ struct FlowParams {
   /// stage lists.
   bool fraig_pre = false;
   bool fraig_post = false;
+  /// Choice export configuration for the "choicemap" stage: ring cap and
+  /// SAT verification of every exported ring member (see
+  /// flow/choice_export.hpp).
+  ChoiceExportParams choice_export;
+  /// Opt into choice-aware mapping in `Pipeline::emorphic(params)`: the
+  /// backward EgraphConversion + final TechMap pair is replaced by the
+  /// "choicemap" stage, which lowers the whole e-graph — the SA winner
+  /// plus a ring of verified alternatives per class — and maps across all
+  /// variants. `fraig_post` is ignored in this configuration (the network
+  /// it would sweep is rebuilt from the e-graph inside the stage).
+  bool use_choicemap = false;
 };
 
 /// Quality-of-result summary of a finished flow.
@@ -148,6 +160,8 @@ struct FlowResult {
   SaResult sa;
   /// Counters of the last executed "fraig" stage (all-zero otherwise).
   FraigStats fraig_stats;
+  /// Counters of the last executed "choicemap" stage (all-zero otherwise).
+  ChoiceExportStats choice_stats;
   std::size_t egraph_classes = 0;
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
@@ -243,6 +257,7 @@ struct FlowContext {
   RunnerReport rewrite_report;
   SaResult sa;
   FraigStats fraig_stats;
+  ChoiceExportStats choice_stats;
   std::size_t egraph_classes = 0;
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
@@ -367,6 +382,24 @@ class FraigStage : public Stage {
   void run(FlowContext& ctx) const override;
 };
 
+/// Choice-aware technology mapping of ctx.egraph (Sec. I, insight 1 pushed
+/// into the mapper): exports the e-graph as a choice-annotated AIG under
+/// the SA winner (greedy depth extraction when SaExtract did not run),
+/// with a SAT-verified ring of alternative structures per class, and maps
+/// across all variants (flow/choice_export.hpp, choice-aware
+/// map_to_cells). The cross-variant cover is Pareto-gated against the
+/// plain mapping of the committed extraction (map_with_choices_gated), so
+/// the stage is monotone: choices can only improve the netlist. Subsumes
+/// the backward EgraphConversion *and* the final TechMap: ctx.current
+/// becomes the plain extraction, ctx.netlist the gated choice-aware
+/// mapping of it. Configured by FlowParams::choice_export; stats land in
+/// FlowResult::choice_stats. Registered as "choicemap".
+class ChoiceMapStage : public Stage {
+ public:
+  const char* name() const override { return "choicemap"; }
+  void run(FlowContext& ctx) const override;
+};
+
 // --- stage registry ---------------------------------------------------------
 
 using StageFactory = std::function<StagePtr()>;
@@ -421,10 +454,12 @@ class Pipeline {
   /// TechMap (resynth-gated final round); Cec.
   static Pipeline emorphic();
 
-  /// baseline()/emorphic() with the opt-in fraig placements applied:
+  /// baseline()/emorphic() with the opt-in placements applied:
   /// `params.fraig_pre` inserts a "fraig" stage before everything,
-  /// `params.fraig_post` right before the final TechMap. With both flags
-  /// false these return the plain pipelines.
+  /// `params.fraig_post` right before the final TechMap, and
+  /// `params.use_choicemap` (emorphic only) swaps the backward
+  /// EgraphConversion + TechMap pair for the choice-aware "choicemap"
+  /// stage. With all flags false these return the plain pipelines.
   static Pipeline baseline(const FlowParams& params);
   static Pipeline emorphic(const FlowParams& params);
 

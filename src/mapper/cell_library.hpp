@@ -12,22 +12,47 @@
 
 namespace emorphic {
 
+/// Maximum number of input pins a library cell may have. This is the one
+/// authoritative matching bound: NPN canonicalization (truth.hpp) runs over
+/// a 4-variable domain, the matcher's pin arrays are sized with it, the
+/// genlib parser rejects wider gates, and `map_to_cells` refuses cut sizes
+/// beyond it. It is deliberately smaller than `kMaxCutSize` (aig/cut.hpp):
+/// cut *enumeration* supports up to 6 leaves (SOP balancing uses the full
+/// width), but only cuts of at most kMaxCellPins leaves can be Boolean-
+/// matched against cells.
+inline constexpr unsigned kMaxCellPins = 4;
+
+/// One library cell: a named single-output gate with a fixed area and a
+/// load-independent worst-case pin-to-output delay.
 struct Cell {
+  /// Cell name as it appears in the genlib source (and in BLIF output).
   std::string name;
-  double area = 0.0;   // µm²
-  double delay = 0.0;  // ps, worst pin-to-output (load-independent NLDM stand-in)
+  /// Cell area in µm².
+  double area = 0.0;
+  /// Worst pin-to-output delay in ps (load-independent NLDM stand-in).
+  double delay = 0.0;
+  /// Number of input pins; at most kMaxCellPins.
   unsigned num_inputs = 0;
-  std::vector<std::string> input_names;  // pin order == truth-table variable order
+  /// Pin names; pin order == truth-table variable order.
+  std::vector<std::string> input_names;
+  /// Output pin name.
   std::string output_name;
-  Tt tt = 0;  // function over the first num_inputs variables (padded to 4)
+  /// Cell function over the first num_inputs variables (padded to 4).
+  Tt tt = 0;
 };
 
+/// An ordered collection of cells; indices into `cells()` are the stable
+/// cell ids used by CellMatch and MappedGate.
 class CellLibrary {
  public:
+  /// Append a cell; its id is the current size().
   void add(Cell cell) { cells_.push_back(std::move(cell)); }
 
+  /// All cells, in id order.
   const std::vector<Cell>& cells() const { return cells_; }
+  /// Cell by id (unchecked).
   const Cell& cell(std::uint32_t id) const { return cells_[id]; }
+  /// Number of cells.
   std::size_t size() const { return cells_.size(); }
 
   /// Index of the inverter (the cheapest cell computing NOT).

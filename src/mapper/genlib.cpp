@@ -105,9 +105,10 @@ class GateExprParser {
     for (unsigned i = 0; i < cell_.input_names.size(); ++i) {
       if (cell_.input_names[i] == name) return i;
     }
-    if (cell_.input_names.size() >= 4) {
+    if (cell_.input_names.size() >= kMaxCellPins) {
       throw std::runtime_error("genlib: gate " + cell_.name +
-                               " has more than 4 inputs");
+                               " has more than " +
+                               std::to_string(kMaxCellPins) + " inputs");
     }
     cell_.input_names.push_back(name);
     return static_cast<unsigned>(cell_.input_names.size() - 1);

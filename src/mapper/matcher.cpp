@@ -17,7 +17,7 @@ std::uint32_t cache_key(Tt tt, unsigned num_leaves) {
 Matcher::Matcher(const CellLibrary& library) : library_(library) {
   for (std::uint32_t id = 0; id < library_.size(); ++id) {
     const Cell& cell = library_.cell(id);
-    if (cell.num_inputs > 4) continue;
+    if (cell.num_inputs > kMaxCellPins) continue;
     NpnTransform tr;
     Tt canon = npn_canon(cell.tt, &tr);
     canon_cells_[canon].push_back(CellEntry{id, tr});
@@ -63,7 +63,7 @@ std::vector<CellMatch> Matcher::compute_matches(Tt tt,
 const std::vector<CellMatch>& Matcher::match(Tt tt,
                                              unsigned num_leaves) const {
   tt &= tt_mask(4);
-  if (num_leaves > 4) num_leaves = 4;
+  if (num_leaves > kMaxCellPins) num_leaves = kMaxCellPins;
   const std::uint32_t key = cache_key(tt, num_leaves);
   Shard& shard = shards_[(key * 0x9e3779b9u) >> 28 & (kNumShards - 1)];
   {

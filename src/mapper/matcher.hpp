@@ -29,9 +29,10 @@ namespace emorphic {
 
 /// A concrete way to implement a cut function with a library cell.
 struct CellMatch {
+  /// Library cell id (index into CellLibrary::cells()).
   std::uint32_t cell = 0;
   /// pin_leaf[j]: index (into the cut's leaves) feeding cell pin j.
-  std::array<std::uint8_t, 4> pin_leaf{{0, 0, 0, 0}};
+  std::array<std::uint8_t, kMaxCellPins> pin_leaf{{0, 0, 0, 0}};
   /// pin_compl bit j: pin j needs the *complement* of that leaf.
   std::uint8_t pin_compl = 0;
   /// The gate computes the complement of the cut function.
@@ -45,9 +46,10 @@ class Matcher {
   Matcher(const Matcher&) = delete;
   Matcher& operator=(const Matcher&) = delete;
 
-  /// All cell implementations of `tt` (a function of `num_leaves` <= 4
-  /// variables, padded into the 4-variable domain). Thread-safe; the
-  /// returned reference stays valid for the lifetime of the matcher.
+  /// All cell implementations of `tt` (a function of `num_leaves` <=
+  /// kMaxCellPins variables, padded into the 4-variable NPN domain).
+  /// Thread-safe; the returned reference stays valid for the lifetime of
+  /// the matcher.
   const std::vector<CellMatch>& match(Tt tt, unsigned num_leaves) const;
 
   const CellLibrary& library() const { return library_; }

@@ -11,29 +11,47 @@
 
 namespace emorphic {
 
+/// One instantiated cell: which library cell, driven by which nets.
 struct MappedGate {
-  std::uint32_t cell = 0;                // index into the library
-  std::vector<std::uint32_t> inputs;     // net ids, in cell pin order
-  std::uint32_t output = 0;              // net id
+  /// Library cell id (index into CellLibrary::cells()).
+  std::uint32_t cell = 0;
+  /// Input net ids, in cell pin order (pin j reads inputs[j]).
+  std::vector<std::uint32_t> inputs;
+  /// Output net id.
+  std::uint32_t output = 0;
 };
 
 /// A combinational mapped netlist over a cell library.
 class MappedNetlist {
  public:
+  /// The library the gate ids refer to; must outlive the netlist.
   explicit MappedNetlist(const CellLibrary* library) : library_(library) {}
 
+  /// Create a named net; returns its id.
   std::uint32_t add_net(std::string name);
+  /// Append a gate; returns its index in gates().
   std::uint32_t add_gate(MappedGate gate);
+  /// Declare `net` a primary input.
   void add_pi(std::uint32_t net) { pis_.push_back(net); }
+  /// Declare `net` a primary output named `name`.
   void add_po(std::uint32_t net, std::string name);
+  /// Tie `net` to a constant (no driving gate).
   void set_const_net(std::uint32_t net, bool value);
 
+  /// The cell library gates are instantiated from.
   const CellLibrary& library() const { return *library_; }
+  /// All gates, in emission order (a gate's inputs are driven by earlier
+  /// gates, PIs, or constant nets).
   const std::vector<MappedGate>& gates() const { return gates_; }
+  /// Primary-input net ids, in interface order.
   const std::vector<std::uint32_t>& pis() const { return pis_; }
+  /// Primary-output net ids, in interface order.
   const std::vector<std::uint32_t>& pos() const { return pos_; }
+  /// Name of a net (as written to BLIF).
   const std::string& net_name(std::uint32_t net) const { return net_names_[net]; }
+  /// Number of nets (PIs, gate outputs, and constants included).
   std::size_t num_nets() const { return net_names_.size(); }
+  /// Number of instantiated gates.
   std::size_t num_gates() const { return gates_.size(); }
 
   /// Total cell area (µm²).

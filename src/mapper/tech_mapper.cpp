@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "aig/cut.hpp"
 
@@ -71,8 +72,32 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
 MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
                            const MapperParams& params,
                            MapperWorkspace* workspace) {
-  if (params.cut_size < 2 || params.cut_size > 4) {
-    throw std::invalid_argument("map_to_cells: cut_size must be in [2, 4]");
+  return detail::map_with_choices(aig, nullptr, matcher, params, workspace);
+}
+
+MappedNetlist map_to_cells(const ChoiceAig& caig, const Matcher& matcher,
+                           const MapperParams& params,
+                           MapperWorkspace* workspace) {
+  return detail::map_with_choices(caig.aig, &caig.choices, matcher, params,
+                                  workspace);
+}
+
+namespace detail {
+
+// The only choice-specific behavior here is the traversal order of passes
+// 1 and 2 (the annotation's schedule instead of index order — a ring
+// member may carry a larger index than the representative whose cut list
+// it feeds) and the choice-aware cut enumeration itself.
+MappedNetlist map_with_choices(const Aig& aig, const AigChoices* choices,
+                               const Matcher& matcher,
+                               const MapperParams& params,
+                               MapperWorkspace* workspace) {
+  if (params.cut_size < 2 || params.cut_size > kMaxCellPins) {
+    throw std::invalid_argument(
+        "map_to_cells: cut_size must be in [2, kMaxCellPins = " +
+        std::to_string(kMaxCellPins) +
+        "] (matching runs in the 4-variable NPN domain; the wider "
+        "kMaxCutSize bound applies to cut enumeration only)");
   }
   std::optional<MapperWorkspace> local;
   if (workspace == nullptr) local.emplace();
@@ -83,10 +108,31 @@ MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
   CutParams cut_params;
   cut_params.cut_size = params.cut_size;
   cut_params.num_cuts = params.num_cuts;
-  CutManager cuts(aig, cut_params, &ws.cuts);
+  std::optional<CutManager> cuts_storage;
+  if (choices != nullptr) {
+    cuts_storage.emplace(aig, *choices, cut_params, &ws.cuts);
+  } else {
+    cuts_storage.emplace(aig, cut_params, &ws.cuts);
+  }
+  CutManager& cuts = *cuts_storage;
 
   const Cell& inv = library.cell(library.inverter());
-  auto fanout = aig.fanout_counts();
+  // Area-flow reference estimate: fanout edges inside the PO-reachable
+  // cone only. Dead logic never materializes in a cover, so its fanouts
+  // must not dilute the flow of shared live nodes — and with choices this
+  // is what keeps the estimate identical to plain mapping: alternative
+  // cones hang off representatives but carry no PO-reachable fanout, so
+  // rings change the available matches, never the refs.
+  std::vector<std::uint32_t> fanout(aig.num_nodes(), 0);
+  {
+    std::vector<std::uint8_t> reachable = aig.po_reachable();
+    for (Var v = 1; v < aig.num_nodes(); ++v) {
+      if (!reachable[v] || !aig.is_and(v)) continue;
+      ++fanout[lit_var(aig.fanin0(v))];
+      ++fanout[lit_var(aig.fanin1(v))];
+    }
+    for (Lit po : aig.pos()) ++fanout[lit_var(po)];
+  }
   std::vector<NodeState>& state = ws.state;
   state.assign(aig.num_nodes(), NodeState{});
 
@@ -108,11 +154,14 @@ MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
   };
 
   // --- Pass 1: delay-optimal matching in topological order ---------------
-  for (Var v = 1; v < aig.num_nodes(); ++v) {
+  // "Topological" means the choice schedule when an annotation is present:
+  // a representative's merged cuts reference leaves inside alternative
+  // cones, whose state must be final before the representative matches.
+  auto pass1_node = [&](Var v) {
     if (aig.is_pi(v)) {
       state[v].phase[0] = PhaseMatch{0.0, 0.0, -1, -1, false};
       close_phases(v);
-      continue;
+      return;
     }
     double refs = std::max<double>(1.0, fanout[v]);
     const auto& node_cuts = cuts.cuts(v);
@@ -167,6 +216,13 @@ MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
           "map_to_cells: node has no match; is the library NPN-complete for "
           "2-input ANDs?");
     }
+  };
+  if (choices != nullptr) {
+    for (Var v : choices->order()) {
+      if (v != 0) pass1_node(v);
+    }
+  } else {
+    for (Var v = 1; v < aig.num_nodes(); ++v) pass1_node(v);
   }
 
   // --- Pass 2: required-time-aware area recovery -------------------------
@@ -188,13 +244,16 @@ MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
   }
 
   if (params.area_recovery) {
-    for (Var v = static_cast<Var>(aig.num_nodes()) - 1; v >= 1; --v) {
+    // Reverse topological order — the reverse of the choice schedule when
+    // an annotation is present, so a node's requirement is final before
+    // its cut leaves (which may live inside alternative cones) see it.
+    auto pass2_node = [&](Var v) {
       if (!aig.is_and(v)) {
         // PI: propagate requirement through the phase-closing inverter.
         if (required[v][1] != kInf) {
           required[v][0] = std::min(required[v][0], required[v][1] - inv.delay);
         }
-        continue;
+        return;
       }
       // Inverter-bridged phases first, so a requirement arriving at the
       // derived phase reaches the source phase before it is re-selected.
@@ -256,6 +315,16 @@ MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
           required[leaf][ph] =
               std::min(required[leaf][ph], req - cell.delay);
         }
+      }
+    };
+    if (choices != nullptr) {
+      const std::vector<Var>& order = choices->order();
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (*it != 0) pass2_node(*it);
+      }
+    } else {
+      for (Var v = static_cast<Var>(aig.num_nodes()) - 1; v >= 1; --v) {
+        pass2_node(v);
       }
     }
   }
@@ -355,6 +424,8 @@ MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
   }
   return netlist;
 }
+
+}  // namespace detail
 
 MappedQor map_qor(const Aig& aig, const CellLibrary& library,
                   const MapperParams& params) {

@@ -11,6 +11,14 @@
 //    recovery (area-flow selection off the critical path),
 //  * netlist construction (netlist.hpp) for the chosen cover.
 //
+// The ChoiceAig overload maps *choice-aware* (docs/mapping-internals.md):
+// cut enumeration merges the cut sets of every choice-ring member into its
+// representative (aig/choice.hpp, aig/cut.hpp), and the same DP then picks
+// the best (arrival, area-flow) match across all structural variants of a
+// signal — the e-graph's equivalence classes, not just the one extraction
+// that was committed to. On an annotation without rings the overload
+// reproduces the plain mapper exactly.
+//
 // This is both the paper's `map` step and the quality-prioritized cost
 // oracle that scores candidate extractions during simulated annealing. For
 // that hot path, pass a shared `Matcher` (so the NPN canonization tables and
@@ -22,16 +30,36 @@
 #include <memory>
 
 #include "aig/aig.hpp"
+#include "aig/choice.hpp"
 #include "mapper/matcher.hpp"
 #include "mapper/netlist.hpp"
 
 namespace emorphic {
 
+/// Mapping effort knobs shared by every map_to_cells overload.
 struct MapperParams {
-  unsigned cut_size = 4;   // cells have at most 4 pins; must be >= 2
-  unsigned num_cuts = 8;   // priority cuts per node
+  /// Cut width K for matching; must lie in [2, kMaxCellPins] — the NPN
+  /// matcher cannot implement wider cuts with a single cell (see
+  /// cell_library.hpp for why this bound is 4, not kMaxCutSize).
+  unsigned cut_size = 4;
+  /// Priority cuts kept per node (plus the trivial cut).
+  unsigned num_cuts = 8;
+  /// Run the required-time-aware area-recovery pass after the
+  /// delay-optimal pass.
   bool area_recovery = true;
 };
+
+class MapperWorkspace;
+
+namespace detail {
+/// The shared mapping kernel behind every map_to_cells overload: plain when
+/// `choices` is null, choice-aware otherwise. Not a stable API — call
+/// map_to_cells.
+MappedNetlist map_with_choices(const Aig& aig, const AigChoices* choices,
+                               const Matcher& matcher,
+                               const MapperParams& params,
+                               MapperWorkspace* workspace);
+}  // namespace detail
 
 /// Reusable scratch for repeated map_to_cells calls: the per-node DP state,
 /// required times, net ids, emission stack, and the cut arena. Buffers are
@@ -46,9 +74,11 @@ class MapperWorkspace {
   MapperWorkspace& operator=(MapperWorkspace&&) noexcept;
 
  private:
-  friend MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
-                                    const MapperParams& params,
-                                    MapperWorkspace* workspace);
+  friend MappedNetlist detail::map_with_choices(const Aig& aig,
+                                                const AigChoices* choices,
+                                                const Matcher& matcher,
+                                                const MapperParams& params,
+                                                MapperWorkspace* workspace);
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
@@ -61,6 +91,14 @@ MappedNetlist map_to_cells(const Aig& aig, const CellLibrary& library,
 /// Map with a shared (thread-safe) matcher and an optional reusable
 /// workspace. This is the SA evaluation hot path.
 MappedNetlist map_to_cells(const Aig& aig, const Matcher& matcher,
+                           const MapperParams& params = {},
+                           MapperWorkspace* workspace = nullptr);
+
+/// Choice-aware mapping: select the best match per node across every
+/// structural variant recorded in the choice annotation (see the header
+/// comment). The annotation must be finalized and fit the AIG. With no
+/// rings this is bit-identical to the plain overload.
+MappedNetlist map_to_cells(const ChoiceAig& caig, const Matcher& matcher,
                            const MapperParams& params = {},
                            MapperWorkspace* workspace = nullptr);
 

@@ -1,0 +1,188 @@
+// Choice-annotated AIGs (aig/choice.hpp) and choice-aware cut enumeration
+// (aig/cut.hpp): ring bookkeeping, the member-before-representative
+// evaluation schedule (including cycle dropping), and the merging of
+// phase-normalized member cuts into the representative's cut list.
+
+#include "aig/choice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_helpers.hpp"
+#include "aig/cut.hpp"
+
+namespace emorphic {
+namespace {
+
+/// f = (a & b) & c twice: the representative association and, built later,
+/// the a & (b & c) alternative whose cone carries larger indices.
+struct TwoVariants {
+  Aig aig;
+  Var a, b, c;
+  Var rep;     // (a & b) & c
+  Var alt;     // a & (b & c)
+  Var n_bc;    // the alternative's inner node
+};
+
+TwoVariants build_two_variants() {
+  TwoVariants t;
+  t.a = t.aig.add_pi("a");
+  t.b = t.aig.add_pi("b");
+  t.c = t.aig.add_pi("c");
+  Lit ab = t.aig.make_and(make_lit(t.a), make_lit(t.b));
+  Lit rep = t.aig.make_and(ab, make_lit(t.c));
+  t.rep = lit_var(rep);
+  Lit bc = t.aig.make_and(make_lit(t.b), make_lit(t.c));
+  t.n_bc = lit_var(bc);
+  Lit alt = t.aig.make_and(make_lit(t.a), bc);
+  t.alt = lit_var(alt);
+  t.aig.add_po(rep, "f");
+  return t;
+}
+
+TEST(AigChoices, RingBookkeeping) {
+  TwoVariants t = build_two_variants();
+  AigChoices choices(t.aig.num_nodes());
+  EXPECT_EQ(choices.num_rings(), 0u);
+  EXPECT_FALSE(choices.is_alt(t.alt));
+
+  choices.add_member(t.rep, t.alt, /*phase=*/false);
+  EXPECT_TRUE(choices.is_alt(t.alt));
+  EXPECT_EQ(choices.repr(t.alt), t.rep);
+  EXPECT_EQ(choices.repr_lit(t.alt), make_lit(t.rep));
+  EXPECT_TRUE(choices.has_ring(t.rep));
+  ASSERT_EQ(choices.ring(t.rep).size(), 1u);
+  EXPECT_EQ(choices.ring(t.rep)[0], t.alt);
+  EXPECT_EQ(choices.num_alts(), 1u);
+
+  choices.remove_member(t.rep, t.alt);
+  EXPECT_FALSE(choices.is_alt(t.alt));
+  EXPECT_FALSE(choices.has_ring(t.rep));
+}
+
+TEST(AigChoices, ScheduleOrdersMembersBeforeRepresentative) {
+  TwoVariants t = build_two_variants();
+  AigChoices choices(t.aig.num_nodes());
+  choices.add_member(t.rep, t.alt, false);
+  EXPECT_EQ(choices.finalize(t.aig), 0u);
+  EXPECT_EQ(choices.check(t.aig), "");
+
+  // The alternative (and its whole cone) carries larger node indices than
+  // the representative, yet must be scheduled before it.
+  ASSERT_GT(t.alt, t.rep);
+  const std::vector<Var>& order = choices.order();
+  ASSERT_EQ(order.size(), t.aig.num_nodes());
+  std::vector<std::uint32_t> pos(t.aig.num_nodes());
+  for (std::uint32_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[t.alt], pos[t.rep]);
+  EXPECT_LT(pos[t.n_bc], pos[t.alt]);
+}
+
+TEST(AigChoices, FinalizeDropsCyclicMembers) {
+  // A "member" whose cone passes through its own representative closes a
+  // cycle with the ring edge; finalize must drop it and still produce a
+  // complete schedule.
+  Aig aig;
+  Lit a = make_lit(aig.add_pi("a"));
+  Lit b = make_lit(aig.add_pi("b"));
+  Lit c = make_lit(aig.add_pi("c"));
+  Lit rep = aig.make_and(a, b);
+  Lit alt = aig.make_and(rep, c);  // references its own representative
+  aig.add_po(rep);
+  AigChoices choices(aig.num_nodes());
+  choices.add_member(lit_var(rep), lit_var(alt), false);
+  EXPECT_EQ(choices.finalize(aig), 1u);
+  EXPECT_FALSE(choices.has_ring(lit_var(rep)));
+  EXPECT_EQ(choices.check(aig), "");
+  EXPECT_EQ(choices.order().size(), aig.num_nodes());
+}
+
+TEST(AigChoices, CheckRejectsIndexOrderWhenRingNeedsDeferral) {
+  TwoVariants t = build_two_variants();
+  AigChoices identity(t.aig.num_nodes());
+  identity.finalize(t.aig);
+  EXPECT_EQ(identity.check(t.aig), "");
+  // Same schedule, but with a ring whose member has a larger index than
+  // the representative: plain index order violates the ring edge.
+  identity.add_member(t.rep, t.alt, false);
+  EXPECT_NE(identity.check(t.aig), "");
+}
+
+TEST(ChoiceCut, MergesMemberCutsIntoRepresentative) {
+  TwoVariants t = build_two_variants();
+  AigChoices choices(t.aig.num_nodes());
+  choices.add_member(t.rep, t.alt, false);
+  ASSERT_EQ(choices.finalize(t.aig), 0u);
+
+  CutManager cuts(t.aig, choices, CutParams{2, 8});
+  // With K = 2 the representative's own cuts can only see {n_ab, c}; the
+  // {a, n_bc} decomposition exists solely in the alternative's cone.
+  bool found_alt_cut = false;
+  for (const Cut& cut : cuts.cuts(t.rep)) {
+    if (cut.size == 2 && cut.leaves[0] == t.a && cut.leaves[1] == t.n_bc) {
+      found_alt_cut = true;
+      EXPECT_EQ(cut.tt, tt_var(0, 2) & tt_var(1, 2));
+    }
+  }
+  EXPECT_TRUE(found_alt_cut);
+  // The contract survives merging: the trivial cut stays last.
+  EXPECT_TRUE(cuts.cuts(t.rep).back().is_trivial(t.rep));
+
+  // A plain CutManager must not see the alternative's decomposition.
+  CutManager plain(t.aig, CutParams{2, 8});
+  for (const Cut& cut : plain.cuts(t.rep)) {
+    EXPECT_FALSE(cut.size == 2 && cut.leaves[0] == t.a &&
+                 cut.leaves[1] == t.n_bc);
+  }
+}
+
+TEST(ChoiceCut, ComplementedMemberCutsAreNormalized) {
+  // Synthetic phase check (the functions are deliberately unrelated — the
+  // cut machinery trusts the annotation): a phase-1 ring member's cut
+  // function must arrive complemented in the representative's list, so
+  // every cut there expresses the representative's positive polarity.
+  Aig aig;
+  Var a = aig.add_pi("a");
+  Var b = aig.add_pi("b");
+  Var c = aig.add_pi("c");
+  Lit rep = aig.make_and(make_lit(a), make_lit(c));
+  Lit alt = aig.make_and(make_lit(a), make_lit(b));
+  aig.add_po(rep);
+  AigChoices choices(aig.num_nodes());
+  choices.add_member(lit_var(rep), lit_var(alt), /*phase=*/true);
+  ASSERT_EQ(choices.finalize(aig), 0u);
+
+  CutManager cuts(aig, choices, CutParams{2, 8});
+  bool found = false;
+  for (const Cut& cut : cuts.cuts(lit_var(rep))) {
+    if (cut.size == 2 && cut.leaves[0] == a && cut.leaves[1] == b) {
+      found = true;
+      EXPECT_EQ(cut.tt, tt_not(tt_var(0, 2) & tt_var(1, 2), 2));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChoiceCut, TrivialAnnotationMatchesPlainEnumeration) {
+  Rng rng(77);
+  Aig aig = testing::random_aig(6, 3, 60, rng);
+  ChoiceAig caig = ChoiceAig::from_plain(aig);
+  CutManager plain(aig, CutParams{4, 8});
+  CutManager with_choices(caig.aig, caig.choices, CutParams{4, 8});
+  for (Var v = 0; v < aig.num_nodes(); ++v) {
+    const auto& p = plain.cuts(v);
+    const auto& q = with_choices.cuts(v);
+    ASSERT_EQ(p.size(), q.size()) << "node " << v;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_EQ(p[i].size, q[i].size);
+      EXPECT_EQ(p[i].tt, q[i].tt);
+      EXPECT_TRUE(std::equal(p[i].leaves.begin(),
+                             p[i].leaves.begin() + p[i].size,
+                             q[i].leaves.begin()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

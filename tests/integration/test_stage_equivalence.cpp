@@ -67,6 +67,14 @@ std::map<std::string, Pipeline> stage_harnesses() {
     p.add("fraig");
     harness.emplace("fraig", std::move(p));
   }
+  {
+    Pipeline p;
+    p.add("EgraphConversion");
+    p.add("Rewrite");
+    p.add("SaExtract");
+    p.add("choicemap");  // exports + maps across the verified choice rings
+    harness.emplace("choicemap", std::move(p));
+  }
   return harness;
 }
 
@@ -123,6 +131,33 @@ TEST(StageEquivalence, EveryStagePreservesCircuitFunction) {
             << "stage '" << stage_name << "' broke circuit '" << circuit_name
             << "' (seed " << seed << ")";
       }
+    }
+  }
+}
+
+TEST(StageEquivalence, ChoicemapNetlistIsEquivalentEndToEnd) {
+  // The generic gate above compares input vs. final_aig, but choicemap's
+  // real product is the mapped netlist built across the choice rings —
+  // final_aig is the plain extraction, which a broken choice cut or phase
+  // would not perturb. Check the netlist itself, end to end.
+  Pipeline p;
+  p.add("EgraphConversion");
+  p.add("Rewrite");
+  p.add("SaExtract");
+  p.add("choicemap");
+  FlowParams params = fast_params();
+  for (auto& [circuit_name, aig] : gate_circuits()) {
+    for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7}}) {
+      FlowContext ctx;
+      ctx.params = params;
+      ctx.input = aig;
+      ctx.seed = seed;
+      FlowResult result = p.run(ctx);
+      ASSERT_TRUE(result.netlist.has_value());
+      ASSERT_EQ(cec(aig, result.netlist->to_aig()).status,
+                CecStatus::kEquivalent)
+          << "choicemap produced a non-equivalent netlist on '"
+          << circuit_name << "' (seed " << seed << ")";
     }
   }
 }

@@ -1,0 +1,81 @@
+// docs/stages.md is the stage-registry reference; this test pins it to the
+// live registry so the page cannot drift: every registered stage must have
+// a table row, and every table row must name a registered stage. Rows are
+// recognized by the `| `name` |` first column of the "Registered stages"
+// table. EMORPHIC_SOURCE_DIR is injected by CMake so the test finds the
+// page regardless of the build directory. It lives in the integration
+// suite (not flow) because test_pipeline.cpp registers a throwaway test
+// stage into the process-global registry, which this cross-check would
+// rightly flag as undocumented.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+
+namespace emorphic {
+namespace {
+
+std::string stages_doc_path() {
+  return std::string(EMORPHIC_SOURCE_DIR) + "/docs/stages.md";
+}
+
+/// Stage names from the doc's table: the backticked first column of every
+/// row, excluding the header ("Registry name") and separator rows.
+std::set<std::string> documented_stages(const std::string& text) {
+  std::set<std::string> names;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // A data row looks like: | `Name` | `Class` | ... |
+    if (line.rfind("| `", 0) != 0) continue;
+    std::size_t start = 3;
+    std::size_t end = line.find('`', start);
+    if (end == std::string::npos) continue;
+    names.insert(line.substr(start, end - start));
+  }
+  return names;
+}
+
+TEST(StagesDoc, TableMatchesTheLiveRegistry) {
+  std::ifstream file(stages_doc_path());
+  ASSERT_TRUE(file.good()) << "docs/stages.md not found at "
+                           << stages_doc_path();
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::set<std::string> documented = documented_stages(buffer.str());
+  ASSERT_FALSE(documented.empty())
+      << "no `| `name` |` table rows found in docs/stages.md";
+
+  std::vector<std::string> registered = registered_stage_names();
+  for (const std::string& name : registered) {
+    EXPECT_TRUE(documented.count(name) != 0)
+        << "stage '" << name
+        << "' is registered but has no row in docs/stages.md — document it";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(std::find(registered.begin(), registered.end(), name) !=
+                registered.end())
+        << "docs/stages.md documents stage '" << name
+        << "', which is not registered — remove or fix the row";
+  }
+}
+
+TEST(StagesDoc, EveryRegisteredStageInstantiates) {
+  // The factory behind every documented name must actually produce a stage
+  // whose name() round-trips (the doc links names to behavior).
+  for (const std::string& name : registered_stage_names()) {
+    StagePtr stage = make_stage(name);
+    ASSERT_NE(stage, nullptr) << name;
+    EXPECT_EQ(stage->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace emorphic

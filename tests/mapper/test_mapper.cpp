@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_helpers.hpp"
+#include "aig/cut.hpp"
 #include "benchgen/arith.hpp"
 #include "opt/balance.hpp"
 
@@ -124,6 +125,37 @@ TEST(Mapper, RejectsOversizeCuts) {
   params.cut_size = 5;
   EXPECT_THROW(map_to_cells(aig, CellLibrary::asap7_like(), params),
                std::invalid_argument);
+}
+
+TEST(Mapper, MatchingBoundIsCellPinsNotCutEnumerationLimit) {
+  // Regression for the kMaxCutSize/kMaxCellPins mismatch: cut *enumeration*
+  // supports K = 6 (SOP balancing uses it), but Boolean matching runs in
+  // the 4-variable NPN domain, so the mapper's bound is kMaxCellPins. The
+  // two constants must stay distinct and the mapper must accept exactly
+  // [2, kMaxCellPins].
+  static_assert(kMaxCellPins == 4);
+  static_assert(kMaxCellPins < kMaxCutSize);
+
+  Aig aig = make_adder(3);
+  // Enumeration at the full width is fine...
+  CutManager wide(aig, CutParams{kMaxCutSize, 8});
+  EXPECT_FALSE(wide.cuts(aig.num_nodes() - 1).empty());
+  // ...but mapping beyond the matcher's domain must throw, for every width
+  // between the two limits.
+  Matcher matcher(CellLibrary::asap7_like());
+  for (unsigned k = kMaxCellPins + 1; k <= kMaxCutSize; ++k) {
+    MapperParams params;
+    params.cut_size = k;
+    EXPECT_THROW(map_to_cells(aig, matcher, params), std::invalid_argument)
+        << "cut_size " << k;
+  }
+  for (unsigned k = 2; k <= kMaxCellPins; ++k) {
+    MapperParams params;
+    params.cut_size = k;
+    MappedNetlist netlist = map_to_cells(aig, matcher, params);
+    EXPECT_TRUE(testing::functionally_equal(aig, netlist.to_aig()))
+        << "cut_size " << k;
+  }
 }
 
 TEST(Mapper, RejectsUndersizeCuts) {
