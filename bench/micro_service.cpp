@@ -1,0 +1,285 @@
+// Synthesis-service micro bench: request throughput and latency against an
+// in-process SynthServer, cold caches vs warm. Writes BENCH_service.json
+// and enforces through its exit code:
+//
+//   1. warm p50 latency strictly better than cold p50 on a
+//      repeated-circuit workload (the flow-result cache answering);
+//   2. QoR of served results bit-identical to one-shot CLI-style
+//      Pipeline runs with the same FlowParams and seed (serving through
+//      the warm substrate must not change answers);
+//   3. every served circuit CEC-equivalent to its input.
+//
+//   $ ./bench/micro_service [BENCH_service.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aig/aig_io.hpp"
+#include "benchgen/arith.hpp"
+#include "benchgen/control.hpp"
+#include "cec/cec.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "util/timer.hpp"
+
+using namespace emorphic;
+using namespace emorphic::service;
+
+namespace {
+
+constexpr const char* kSocketPath = "micro_service.sock";
+constexpr unsigned kWarmClients = 4;
+constexpr unsigned kWarmRoundsPerClient = 3;
+
+struct Workload {
+  std::string name;
+  Aig aig;
+  std::string aiger;
+};
+
+FlowParams bench_params() {
+  // Laptop-scale effort: the point is serving overhead and cache warmth,
+  // not absolute QoR, so keep individual flows around a second.
+  FlowParams params;
+  params.rounds = 2;
+  params.rewrite.max_iterations = 2;
+  params.rewrite.max_enodes = 8000;
+  params.sa.iterations = 2;
+  params.sa.moves_per_iteration = 2;
+  params.sa.num_threads = 2;
+  params.verify = false;  // the bench CECs the returned circuits itself
+  return params;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  return values[static_cast<std::size_t>(idx + 0.5)];
+}
+
+Json latency_summary(const std::vector<double>& seconds) {
+  Json obj = Json::object();
+  obj["requests"] = static_cast<std::uint64_t>(seconds.size());
+  obj["p50_ms"] = percentile(seconds, 0.50) * 1e3;
+  obj["p99_ms"] = percentile(seconds, 0.99) * 1e3;
+  return obj;
+}
+
+JobRequest make_request(const Workload& w, const std::string& id,
+                        std::uint64_t seed, bool return_circuit) {
+  JobRequest req;
+  req.id = id;
+  req.circuit = w.aiger;
+  req.seed = seed;
+  req.return_circuit = return_circuit;
+  return req;
+}
+
+/// Submit + await, recording client-observed latency. Returns the result
+/// frame; exits the process on any rejection (the bench expects a healthy
+/// server throughout).
+Json run_job(SynthClient& client, const JobRequest& req,
+             std::vector<double>* latencies) {
+  Timer timer;
+  Json verdict = client.submit(req);
+  if (verdict.at("type").as_string() != "accepted") {
+    std::fprintf(stderr, "job '%s' rejected: %s\n", req.id.c_str(),
+                 verdict.dump().c_str());
+    std::exit(1);
+  }
+  Json terminal = client.await(req.id);
+  if (terminal.at("type").as_string() != "result") {
+    std::fprintf(stderr, "job '%s' did not complete: %s\n", req.id.c_str(),
+                 terminal.dump().c_str());
+    std::exit(1);
+  }
+  if (latencies != nullptr) latencies->push_back(timer.seconds());
+  return terminal;
+}
+
+bool same_qor(const Json& served_qor, const FlowQor& local) {
+  return served_qor.at("area").as_number() == local.area &&
+         served_qor.at("delay").as_number() == local.delay &&
+         static_cast<std::uint32_t>(served_qor.at("lev").as_int()) ==
+             local.lev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_service.json";
+
+  std::vector<Workload> workloads;
+  for (auto& [name, aig] :
+       std::initializer_list<std::pair<const char*, Aig>>{
+           {"adder8", make_adder(8)},
+           {"arbiter6", make_arbiter(6)},
+           {"square6", make_square(6)}}) {
+    workloads.push_back({name, aig, write_aiger(aig)});
+  }
+
+  ServerConfig config;
+  config.unix_socket_path = kSocketPath;
+  config.workers = kWarmClients;
+  config.queue_capacity = 64;
+  config.base_params = bench_params();
+  SynthServer server(config);
+  server.start();
+
+  bool all_ok = true;
+  Json doc = Json::object();
+  doc["benchmark"] = "synthesis-service-cold-vs-warm";
+
+  // --- phase 1: cold — every request is a first sight ----------------------
+  std::vector<double> cold_latencies;
+  std::vector<Json> cold_results;
+  {
+    SynthClient client = SynthClient::connect_unix(kSocketPath);
+    for (const Workload& w : workloads) {
+      cold_results.push_back(run_job(
+          client, make_request(w, "cold-" + w.name, 1, true),
+          &cold_latencies));
+    }
+  }
+
+  // --- QoR gate: served == one-shot CLI-style runs -------------------------
+  Json qor_rows = Json::array();
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    FlowContext ctx;
+    ctx.params = bench_params();
+    ctx.input = workloads[i].aig;
+    ctx.seed = 1;
+    FlowResult local = Pipeline::emorphic(ctx.params).run(ctx);
+    const Json& served = cold_results[i].at("qor");
+    const bool match = same_qor(served, local.qor);
+    all_ok = all_ok && match;
+    Json row = Json::object();
+    row["circuit"] = workloads[i].name;
+    row["served_area"] = served.at("area").as_number();
+    row["served_delay"] = served.at("delay").as_number();
+    row["local_area"] = local.qor.area;
+    row["local_delay"] = local.qor.delay;
+    row["qor_matches_one_shot"] = match;
+    qor_rows.push_back(row);
+    if (!match) {
+      std::fprintf(stderr, "QoR mismatch on %s: served != one-shot\n",
+                   workloads[i].name.c_str());
+    }
+  }
+  doc["qor_vs_one_shot"] = qor_rows;
+
+  // --- CEC gate: served circuits are equivalent to their inputs ------------
+  bool cec_ok = true;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    Aig served = read_aiger(cold_results[i].at("circuit").as_string());
+    CecResult check = cec(workloads[i].aig, served);
+    if (check.status != CecStatus::kEquivalent) {
+      cec_ok = false;
+      std::fprintf(stderr, "CEC failed on %s: %s\n",
+                   workloads[i].name.c_str(), cec_status_name(check.status));
+    }
+  }
+  all_ok = all_ok && cec_ok;
+  doc["served_circuits_cec_equivalent"] = cec_ok;
+
+  // --- phase 2: warm — concurrent clients repeating the same requests ------
+  std::vector<double> warm_latencies;
+  double warm_span_s = 0.0;
+  {
+    std::vector<std::vector<double>> per_client(kWarmClients);
+    std::vector<std::thread> clients;
+    Timer span;
+    for (unsigned c = 0; c < kWarmClients; ++c) {
+      clients.emplace_back([&, c] {
+        SynthClient client = SynthClient::connect_unix(kSocketPath);
+        for (unsigned round = 0; round < kWarmRoundsPerClient; ++round) {
+          for (const Workload& w : workloads) {
+            std::string id = "warm-" + std::to_string(c) + "-" +
+                             std::to_string(round) + "-" + w.name;
+            run_job(client, make_request(w, id, 1, false), &per_client[c]);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    warm_span_s = span.seconds();
+    for (auto& v : per_client) {
+      warm_latencies.insert(warm_latencies.end(), v.begin(), v.end());
+    }
+  }
+
+  // --- phase 3: same circuits, new seed — QoR memo warm, result cache cold -
+  std::vector<double> alt_seed_latencies;
+  {
+    SynthClient client = SynthClient::connect_unix(kSocketPath);
+    for (const Workload& w : workloads) {
+      run_job(client, make_request(w, "alt-" + w.name, 7, false),
+              &alt_seed_latencies);
+    }
+  }
+
+  const double cold_p50 = percentile(cold_latencies, 0.50);
+  const double warm_p50 = percentile(warm_latencies, 0.50);
+  const bool warm_faster = warm_p50 < cold_p50;
+  all_ok = all_ok && warm_faster;
+  if (!warm_faster) {
+    std::fprintf(stderr, "warm p50 (%.3f ms) not better than cold (%.3f ms)\n",
+                 warm_p50 * 1e3, cold_p50 * 1e3);
+  }
+
+  ServerStats stats = server.stats();
+  WarmCacheStats cache = server.warm_cache().stats();
+  server.stop();
+
+  doc["cold"] = latency_summary(cold_latencies);
+  doc["warm"] = latency_summary(warm_latencies);
+  doc["alt_seed"] = latency_summary(alt_seed_latencies);
+  doc["warm_req_per_s"] =
+      warm_span_s > 0.0
+          ? static_cast<double>(warm_latencies.size()) / warm_span_s
+          : 0.0;
+  doc["warm_p50_better_than_cold"] = warm_faster;
+  Json cache_json = Json::object();
+  cache_json["result_hits"] = cache.result_hits;
+  cache_json["result_misses"] = cache.result_misses;
+  cache_json["result_hit_rate"] =
+      cache.result_hits + cache.result_misses > 0
+          ? static_cast<double>(cache.result_hits) /
+                static_cast<double>(cache.result_hits + cache.result_misses)
+          : 0.0;
+  cache_json["qor_hits"] = cache.qor_hits;
+  cache_json["qor_misses"] = cache.qor_misses;
+  cache_json["qor_hit_rate"] =
+      cache.qor_hits + cache.qor_misses > 0
+          ? static_cast<double>(cache.qor_hits) /
+                static_cast<double>(cache.qor_hits + cache.qor_misses)
+          : 0.0;
+  doc["cache"] = cache_json;
+  Json stats_json = Json::object();
+  stats_json["jobs_accepted"] = stats.jobs_accepted;
+  stats_json["jobs_completed"] = stats.jobs_completed;
+  stats_json["result_cache_hits"] = stats.result_cache_hits;
+  doc["server"] = stats_json;
+  doc["all_checks_passed"] = all_ok;
+
+  std::ofstream file(json_path);
+  file << doc.dump(2) << "\n";
+  std::printf(
+      "cold p50 %.1f ms | warm p50 %.2f ms | %.0f req/s warm | "
+      "result cache %llu/%llu | qor memo %llu/%llu | %s\n",
+      cold_p50 * 1e3, warm_p50 * 1e3,
+      doc.at("warm_req_per_s").as_number(),
+      static_cast<unsigned long long>(cache.result_hits),
+      static_cast<unsigned long long>(cache.result_hits +
+                                      cache.result_misses),
+      static_cast<unsigned long long>(cache.qor_hits),
+      static_cast<unsigned long long>(cache.qor_hits + cache.qor_misses),
+      all_ok ? "PASS" : "FAIL");
+  std::printf("wrote %s\n", json_path);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// The synthesis daemon: serve E-morphic optimization jobs over a Unix or
+// loopback-TCP socket, sharing one warm cache across all clients
+// (src/service/server.hpp, protocol in docs/service.md).
+//
+//   $ ./build/examples/synthd --socket /tmp/synthd.sock &
+//   $ ./build/examples/synthcli --socket /tmp/synthd.sock submit --gen adder:8
+//   $ ./build/examples/synthcli --socket /tmp/synthd.sock shutdown
+//
+// The daemon exits when a client sends "shutdown" or on SIGINT/SIGTERM,
+// draining already-accepted jobs either way.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service/server.hpp"
+#include "util/logger.hpp"
+
+using namespace emorphic;
+using namespace emorphic::service;
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+void on_signal(int) { g_signalled = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --tcp PORT) [options]\n"
+               "  --workers N     worker threads (default 2)\n"
+               "  --queue N       admission queue capacity (default 16)\n"
+               "  --fast          laptop-scale flow parameters (CI/demo)\n"
+               "  --no-cache      disable the flow-result cache layer\n"
+               "  --print-port    print the bound TCP port on stdout\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  bool print_port = false;
+  bool have_endpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--socket") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.unix_socket_path = v;
+      have_endpoint = true;
+    } else if (std::strcmp(arg, "--tcp") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.tcp_port = static_cast<std::uint16_t>(std::atoi(v));
+      have_endpoint = true;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.workers = static_cast<unsigned>(std::atoi(v));
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      config.queue_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (std::strcmp(arg, "--fast") == 0) {
+      // The quick-params profile the test suite uses: full pipeline shape,
+      // small effort knobs — right for smoke tests and demos.
+      config.base_params.rounds = 2;
+      config.base_params.rewrite.max_iterations = 2;
+      config.base_params.rewrite.max_enodes = 8000;
+      config.base_params.sa.iterations = 2;
+      config.base_params.sa.moves_per_iteration = 2;
+      config.base_params.sa.num_threads = 2;
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      config.cache_results = false;
+    } else if (std::strcmp(arg, "--print-port") == 0) {
+      print_port = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!have_endpoint) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  SynthServer server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "synthd: %s\n", e.what());
+    return 1;
+  }
+  if (print_port) {
+    std::printf("%u\n", static_cast<unsigned>(server.tcp_port()));
+    std::fflush(stdout);
+  }
+
+  // Wake periodically so signals are noticed even with no client traffic.
+  while (g_signalled == 0) {
+    if (server.wait_for_shutdown_request(0.2)) break;
+  }
+  server.stop();
+
+  ServerStats stats = server.stats();
+  WarmCacheStats cache = server.warm_cache().stats();
+  std::printf(
+      "synthd: served %llu jobs (%llu completed, %llu cancelled, "
+      "%llu failed), rejected %llu overloaded / %llu malformed, "
+      "result cache %llu/%llu hits, qor memo %llu/%llu hits\n",
+      static_cast<unsigned long long>(stats.jobs_accepted),
+      static_cast<unsigned long long>(stats.jobs_completed),
+      static_cast<unsigned long long>(stats.jobs_cancelled),
+      static_cast<unsigned long long>(stats.jobs_failed),
+      static_cast<unsigned long long>(stats.rejected_overloaded),
+      static_cast<unsigned long long>(stats.rejected_malformed),
+      static_cast<unsigned long long>(stats.result_cache_hits),
+      static_cast<unsigned long long>(stats.jobs_completed),
+      static_cast<unsigned long long>(cache.qor_hits),
+      static_cast<unsigned long long>(cache.qor_hits + cache.qor_misses));
+  return 0;
+}

@@ -251,37 +251,101 @@ std::string write_aiger(const Aig& aig) {
 }
 
 Aig read_aiger(const std::string& text) {
+  // Server-hardened parser: every malformed input — truncated header,
+  // non-numeric tokens, out-of-range or odd literals, oversized declared
+  // counts, literals used before definition — throws std::runtime_error.
+  // One bad client request must never assert, allocate absurdly, or index
+  // out of bounds.
   std::istringstream in(text);
   std::string magic;
-  std::uint32_t m = 0, i = 0, l = 0, o = 0, a = 0;
-  in >> magic >> m >> i >> l >> o >> a;
+  if (!(in >> magic)) throw std::runtime_error("aiger: empty input");
   if (magic != "aag") throw std::runtime_error("aiger: expected 'aag' header");
+  std::uint64_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  if (!(in >> m >> i >> l >> o >> a)) {
+    throw std::runtime_error("aiger: truncated or non-numeric header");
+  }
   if (l != 0) throw std::runtime_error("aiger: latches not supported");
+  if (i + a > m) {
+    throw std::runtime_error(
+        "aiger: header counts exceed declared maximum index");
+  }
+  // Every declared variable needs at least two characters of body text
+  // ("0\n"), so declared counts beyond the input size are lies — reject
+  // them before sizing any allocation off attacker-controlled numbers.
+  if (m > text.size() || o > text.size()) {
+    throw std::runtime_error("aiger: declared counts exceed input size");
+  }
 
   Aig aig;
+  const std::uint64_t max_lit = 2 * m + 1;
   std::vector<Lit> map(2 * (m + 1), kLitFalse);
+  std::vector<bool> defined(2 * (m + 1), false);
   map[0] = kLitFalse;
   map[1] = kLitTrue;
+  defined[0] = defined[1] = true;
 
-  std::vector<std::uint32_t> pi_lits(i);
-  for (auto& lit : pi_lits) {
-    in >> lit;
+  auto read_lit = [&](const char* section) -> std::uint64_t {
+    std::uint64_t lit = 0;
+    if (!(in >> lit)) {
+      throw std::runtime_error(std::string("aiger: truncated or non-numeric ") +
+                               section + " section");
+    }
+    if (lit > max_lit) {
+      throw std::runtime_error("aiger: literal " + std::to_string(lit) +
+                               " out of range (max " +
+                               std::to_string(max_lit) + ")");
+    }
+    return lit;
+  };
+
+  for (std::uint64_t k = 0; k < i; ++k) {
+    std::uint64_t lit = read_lit("input");
+    if (lit < 2 || (lit & 1) != 0) {
+      throw std::runtime_error("aiger: invalid input literal " +
+                               std::to_string(lit));
+    }
+    if (defined[lit]) {
+      throw std::runtime_error("aiger: literal " + std::to_string(lit) +
+                               " defined twice");
+    }
     Var v = aig.add_pi();
     map[lit] = make_lit(v);
     map[lit ^ 1] = lit_not(make_lit(v));
+    defined[lit] = defined[lit ^ 1] = true;
   }
-  std::vector<std::uint32_t> po_lits(o);
-  for (auto& lit : po_lits) in >> lit;
 
-  for (std::uint32_t k = 0; k < a; ++k) {
-    std::uint32_t out_lit = 0, in0 = 0, in1 = 0;
-    in >> out_lit >> in0 >> in1;
-    if (!in) throw std::runtime_error("aiger: truncated AND section");
+  std::vector<std::uint64_t> po_lits(o);
+  for (auto& lit : po_lits) lit = read_lit("output");
+
+  for (std::uint64_t k = 0; k < a; ++k) {
+    std::uint64_t out_lit = read_lit("and");
+    std::uint64_t in0 = read_lit("and");
+    std::uint64_t in1 = read_lit("and");
+    if (out_lit < 2 || (out_lit & 1) != 0) {
+      throw std::runtime_error("aiger: invalid AND output literal " +
+                               std::to_string(out_lit));
+    }
+    if (defined[out_lit]) {
+      throw std::runtime_error("aiger: literal " + std::to_string(out_lit) +
+                               " defined twice");
+    }
+    if (!defined[in0] || !defined[in1]) {
+      throw std::runtime_error(
+          "aiger: AND fanin used before definition (literal " +
+          std::to_string(!defined[in0] ? in0 : in1) + ")");
+    }
     Lit f = aig.make_and(map[in0], map[in1]);
     map[out_lit] = f;
     map[out_lit ^ 1] = lit_not(f);
+    defined[out_lit] = defined[out_lit ^ 1] = true;
   }
-  for (std::uint32_t lit : po_lits) aig.add_po(map[lit]);
+  for (std::uint64_t lit : po_lits) {
+    if (!defined[lit]) {
+      throw std::runtime_error("aiger: undefined output literal " +
+                               std::to_string(lit));
+    }
+    aig.add_po(map[lit]);
+  }
   return aig;
 }
 

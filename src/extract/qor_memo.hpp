@@ -1,0 +1,77 @@
+#pragma once
+// Thread-safe memo of QoR-evaluator results keyed by the candidate AIG's
+// structural signature (aig/signature.hpp).
+//
+// Historically this lived inside sa_extractor.cpp as a per-run cache: SA
+// chains revisit each other's neighborhoods near convergence, and a cached
+// Qor is bit-identical to a recomputed one (the evaluator is deterministic),
+// so memoization never alters the annealing trajectory. Promoting it to a
+// public type lets the cache outlive a single extraction: the WarmCache
+// substrate (flow/warm_cache.hpp) shares one memo across every flow the
+// batch driver or the synthesis service runs, so a repeated circuit's SA
+// phase skips technology mapping almost entirely.
+//
+// Sharing discipline: one memo serves ONE (deterministic) evaluator over ONE
+// cell library. The structural signature does not encode either, so mixing
+// them in one memo would return wrong answers; WarmCache enforces this by
+// construction.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "extract/sa_extractor.hpp"  // Qor
+
+namespace emorphic {
+
+class QorMemo {
+ public:
+  /// Look `key` up; on hit copy the cached Qor into *out. Counts lifetime
+  /// hits/misses for cache-warmth telemetry.
+  bool lookup(std::uint64_t key, Qor* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    *out = it->second;
+    return true;
+  }
+
+  void insert(std::uint64_t key, const Qor& qor) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, qor);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Qor> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace emorphic

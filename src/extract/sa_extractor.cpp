@@ -6,36 +6,16 @@
 #include <unordered_map>
 
 #include "aig/signature.hpp"
+#include "extract/qor_memo.hpp"
 #include "util/timer.hpp"
 
 namespace emorphic {
 
+// The memo of evaluator results keyed by structural signature now lives in
+// extract/qor_memo.hpp so callers can share one across runs (WarmCache);
+// without an external memo, sa_extract still uses a fresh per-run instance.
+
 namespace {
-
-/// Per-run memo of evaluator results keyed by the candidate AIG's
-/// structural signature, shared by every chain (the chains revisit each
-/// other's neighborhoods near convergence). Thread-safe; the evaluator is
-/// deterministic, so a cached Qor is bit-identical to a recomputed one and
-/// memoization never alters the annealing trajectory.
-class QorMemo {
- public:
-  bool lookup(std::uint64_t key, Qor* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = map_.find(key);
-    if (it == map_.end()) return false;
-    *out = it->second;
-    return true;
-  }
-
-  void insert(std::uint64_t key, const Qor& qor) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    map_.emplace(key, qor);
-  }
-
- private:
-  std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Qor> map_;
-};
 
 struct ChainResult {
   Extraction solution;
@@ -200,8 +180,13 @@ SaResult sa_extract(const EGraph& egraph,
   Timer timer;
   unsigned num_threads = std::max(1u, params.num_threads);
 
-  QorMemo memo;
-  QorMemo* memo_ptr = params.memoize_qor ? &memo : nullptr;
+  // An external memo (hooks.qor_memo) survives this run — that is the
+  // cache-warmth seam the batch driver and the synthesis service share.
+  QorMemo local_memo;
+  QorMemo* memo_ptr = nullptr;
+  if (params.memoize_qor) {
+    memo_ptr = hooks.qor_memo != nullptr ? hooks.qor_memo : &local_memo;
+  }
 
   std::vector<ChainResult> chains(num_threads);
   {

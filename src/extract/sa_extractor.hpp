@@ -112,6 +112,8 @@ struct SaResult {
   std::vector<SaTracePoint> trace;
 };
 
+class QorMemo;  // extract/qor_memo.hpp
+
 /// Progress callbacks for an extraction run (all optional). The flow
 /// pipeline uses them to stream FlowObserver events and to implement
 /// cancellation / time budgets across the parallel chains.
@@ -122,6 +124,13 @@ struct SaHooks {
   /// Polled by every chain before each move; return true to stop all chains
   /// early. Must be thread-safe. The best solution found so far still wins.
   std::function<bool()> stop;
+  /// Optional external QoR memo (extract/qor_memo.hpp). When set (and
+  /// SaParams::memoize_qor is on), chains consult and extend this shared
+  /// memo instead of a fresh per-run one, so repeated structures across
+  /// runs skip mapping. Results are unchanged either way: a cached Qor is
+  /// the evaluator's own deterministic answer. The memo must belong to the
+  /// same evaluator/library configuration as this run (see qor_memo.hpp).
+  QorMemo* qor_memo = nullptr;
 };
 
 /// Run parallel simulated-annealing extraction over a (rewritten) e-graph.

@@ -43,8 +43,13 @@ BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
   }
 
   // One thread-safe matcher serves every worker: the library is canonized
-  // once per batch and the match cache warms across circuits.
-  auto matcher = std::make_shared<const Matcher>(*shared.library);
+  // once per batch and the match cache warms across circuits. With a
+  // WarmCache it is canonized once per *process* instead, and the QoR memo
+  // carries over between batches too.
+  std::shared_ptr<const Matcher> matcher =
+      batch.warm_cache != nullptr
+          ? batch.warm_cache->matcher_for(*shared.library)
+          : std::make_shared<const Matcher>(*shared.library);
 
   unsigned workers = batch.num_threads;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
@@ -56,6 +61,7 @@ BatchResult run_batch(std::span<const Aig> inputs, const Pipeline& pipeline,
     FlowContext ctx;
     ctx.params = shared;
     ctx.matcher = matcher;
+    if (batch.warm_cache != nullptr) batch.warm_cache->prepare(ctx);
     ctx.input = inputs[i];
     ctx.seed = circuit_seed(batch.base_seed, i);
     ctx.observer = observer;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "flow/pipeline.hpp"
+#include "flow/warm_cache.hpp"
 
 namespace emorphic {
 
@@ -36,6 +37,13 @@ struct BatchParams {
   double time_budget_s = 0.0;
   /// Shared cancellation flag for the whole batch (polled per stage/move).
   std::atomic<bool>* cancel = nullptr;
+  /// Optional long-lived cache substrate (flow/warm_cache.hpp). When set,
+  /// the batch reuses its shared matcher and cross-run QoR memo instead of
+  /// building per-batch state, so consecutive batches (and the synthesis
+  /// service, which shares the same object) start warm. Results are
+  /// unchanged — see warm_cache.hpp for why sharing is sound. The batch
+  /// driver never consults the flow-result cache layer.
+  WarmCache* warm_cache = nullptr;
 };
 
 struct BatchResult {

@@ -31,6 +31,18 @@ Aig optimize_round(const Aig& aig, const FlowParams& params, unsigned round) {
 
 }  // namespace
 
+const char* to_string(FlowStopReason reason) {
+  switch (reason) {
+    case FlowStopReason::kNone:
+      return "none";
+    case FlowStopReason::kCancelled:
+      return "cancelled";
+    case FlowStopReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
 FlowResult FlowContext::take_result() {
   FlowResult result;
   result.qor = qor;
@@ -46,6 +58,7 @@ FlowResult FlowContext::take_result() {
   result.initial_enodes = initial_enodes;
   result.verify_status = verify_status;
   result.cancelled = stopped_early;
+  result.stop_reason = stop_signal.load(std::memory_order_relaxed);
   return result;
 }
 
@@ -151,6 +164,10 @@ void SaExtractStage::run(FlowContext& ctx) const {
 
   SaHooks hooks;
   hooks.stop = [&ctx] { return ctx.should_stop(); };
+  // Cross-run QoR memo (WarmCache): only safe with the default evaluator —
+  // the memo caches one evaluator's output per structural signature, and a
+  // custom evaluator would poison / be poisoned by it.
+  if (ctx.evaluator == nullptr) hooks.qor_memo = ctx.qor_memo;
   if (ctx.observer != nullptr) {
     hooks.on_move = [&ctx](const SaTracePoint& point) {
       ctx.observer->on_sa_move(point, ctx);
@@ -349,6 +366,7 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
   ctx.verify_status = CecStatus::kUndecided;
   ctx.telemetry = FlowTelemetry{};
   ctx.stopped_early = false;
+  ctx.stop_signal.store(FlowStopReason::kNone, std::memory_order_relaxed);
   if (ctx.observer != nullptr) ctx.observer->on_flow_begin(ctx);
 
   for (std::size_t i = 0; i < stages_.size(); ++i) {

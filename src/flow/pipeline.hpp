@@ -149,6 +149,18 @@ struct FlowTelemetry {
   }
 };
 
+/// Which external stop signal a flow run observed (pipeline.hpp keeps the
+/// name distinct from the saturation runner's StopReason). The service layer
+/// reports this verbatim so clients can tell a client-driven cancellation
+/// from an expired deadline.
+enum class FlowStopReason {
+  kNone = 0,    // no stop signal observed
+  kCancelled,   // the external cancel flag was set
+  kDeadline,    // the wall-clock time budget expired
+};
+
+const char* to_string(FlowStopReason reason);
+
 /// Everything a finished pipeline produced. Fields that a pipeline's stages
 /// never touch keep their defaults (e.g. `sa` for the baseline pipeline).
 struct FlowResult {
@@ -166,12 +178,20 @@ struct FlowResult {
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
   CecStatus verify_status = CecStatus::kUndecided;
-  /// True when the run stopped early (cancellation flag or time budget).
+  /// True when stages were skipped (cancellation flag or time budget fired
+  /// between stages). See `stop_reason` for which signal it was.
   bool cancelled = false;
+  /// Which stop signal fired during the run, recorded at the first poll
+  /// that observed it — including polls *inside* the final stage, so a run
+  /// whose budget expired mid-TechMap reports kDeadline even though
+  /// `cancelled` stays false (no stage was skipped, but the result may have
+  /// been computed under a fired budget and should be treated accordingly).
+  FlowStopReason stop_reason = FlowStopReason::kNone;
 };
 
 class Stage;
 struct FlowContext;
+class QorMemo;  // extract/qor_memo.hpp
 
 /// Callback interface for flow progress. All methods have empty default
 /// bodies — override what you need. When a pipeline runs inside run_batch,
@@ -217,6 +237,13 @@ struct FlowContext {
   /// External cancellation flag, polled between stages, between rewrite
   /// iterations, and between SA moves.
   std::atomic<bool>* cancel = nullptr;
+  /// Optional shared QoR memo for the SA evaluator (extract/qor_memo.hpp),
+  /// keyed by structural signature: repeated structures across runs skip
+  /// technology mapping. Install one per cell library and per evaluator —
+  /// the memo caches raw evaluator output, so mixing evaluators (or
+  /// libraries) in one memo would serve wrong answers. `WarmCache::prepare`
+  /// wires this for the batch driver and the synthesis service.
+  QorMemo* qor_memo = nullptr;
   /// Wall-clock budget for the whole run; 0 = unlimited.
   double time_budget_s = 0.0;
   /// Index of this circuit within a run_batch call (0 otherwise).
@@ -265,17 +292,36 @@ struct FlowContext {
   FlowTelemetry telemetry;
   /// Set by Pipeline::run when it skipped stages (cancellation flag or time
   /// budget fired between stages). A run whose every stage completed is not
-  /// "cancelled", even if the budget expired during the final stage.
+  /// "cancelled" — but `stop_signal` still records a budget that expired
+  /// during the final stage (FlowResult::stop_reason).
   bool stopped_early = false;
+  /// First stop signal observed by any should_stop() poll this run —
+  /// including polls inside stages (SA moves, rewrite iterations), so a
+  /// deadline that fires during the final stage is still reported. Atomic:
+  /// SA chains poll concurrently; the first recorded reason wins.
+  mutable std::atomic<FlowStopReason> stop_signal{FlowStopReason::kNone};
 
   /// Restarted by Pipeline::run; the reference point for time_budget_s.
   Timer stopwatch;
 
   bool should_stop() const {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      note_stop(FlowStopReason::kCancelled);
       return true;
     }
-    return time_budget_s > 0.0 && stopwatch.seconds() > time_budget_s;
+    if (time_budget_s > 0.0 && stopwatch.seconds() > time_budget_s) {
+      note_stop(FlowStopReason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// Record the first observed stop signal (later signals are ignored:
+  /// once one fired, every subsequent poll reports a stop anyway).
+  void note_stop(FlowStopReason reason) const {
+    FlowStopReason expected = FlowStopReason::kNone;
+    stop_signal.compare_exchange_strong(expected, reason,
+                                        std::memory_order_relaxed);
   }
 
   /// Move the result fields out. Pipeline::run re-initializes all working

@@ -1,0 +1,88 @@
+#include "service/client.hpp"
+
+#include <stdexcept>
+
+namespace emorphic::service {
+
+namespace {
+
+bool is_type(const Json& msg, const char* type) {
+  return msg.is_object() && msg.contains("type") &&
+         msg.at("type").is_string() && msg.at("type").as_string() == type;
+}
+
+std::string frame_id(const Json& msg) {
+  if (msg.is_object() && msg.contains("id") && msg.at("id").is_string()) {
+    return msg.at("id").as_string();
+  }
+  return {};
+}
+
+}  // namespace
+
+void SynthClient::send(const Json& msg) { write_frame(sock_, msg.dump()); }
+
+bool SynthClient::recv(Json* msg) {
+  std::string payload;
+  if (!read_frame(sock_, &payload)) return false;
+  *msg = Json::parse(payload);
+  return true;
+}
+
+Json SynthClient::submit(const JobRequest& request) {
+  send(request.to_json());
+  Json msg;
+  while (recv(&msg)) {
+    // Ordering guarantee: the admission verdict is the next frame that
+    // concerns this job; anything before it belongs to earlier traffic.
+    if (is_type(msg, "accepted") && frame_id(msg) == request.id) return msg;
+    if (is_type(msg, "error")) return msg;
+  }
+  throw std::runtime_error("connection closed while awaiting admission of '" +
+                           request.id + "'");
+}
+
+Json SynthClient::await(const std::string& id,
+                        const std::function<void(const Json&)>& on_event) {
+  Json msg;
+  while (recv(&msg)) {
+    const bool mine = frame_id(msg) == id;
+    if (mine && (is_type(msg, "result") || is_type(msg, "cancelled") ||
+                 is_type(msg, "error"))) {
+      return msg;
+    }
+    if (on_event) on_event(msg);
+  }
+  throw std::runtime_error("connection closed while awaiting job '" + id +
+                           "'");
+}
+
+void SynthClient::cancel(const std::string& id) {
+  Json msg = Json::object();
+  msg["type"] = "cancel";
+  msg["id"] = id;
+  send(msg);
+}
+
+bool SynthClient::ping() {
+  Json msg = Json::object();
+  msg["type"] = "ping";
+  send(msg);
+  Json reply;
+  while (recv(&reply)) {
+    if (is_type(reply, "pong")) return true;
+  }
+  return false;
+}
+
+void SynthClient::shutdown_server() {
+  Json msg = Json::object();
+  msg["type"] = "shutdown";
+  send(msg);
+  Json reply;
+  while (recv(&reply)) {
+    if (is_type(reply, "shutting_down")) return;
+  }
+}
+
+}  // namespace emorphic::service

@@ -1,0 +1,66 @@
+#pragma once
+// Thin synchronous client for the synthesis service: frames JSON messages
+// (service/protocol.hpp) over one connection and offers the small amount of
+// sequencing sugar — submit-and-wait-for-admission, await-terminal-frame —
+// that every caller (synthcli, the micro bench, the tests) would otherwise
+// reimplement. One client == one connection == one frame stream; run several
+// clients for concurrency.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/socket.hpp"
+
+namespace emorphic::service {
+
+class SynthClient {
+ public:
+  static SynthClient connect_unix(const std::string& path) {
+    return SynthClient(Socket::connect_unix(path));
+  }
+  static SynthClient connect_tcp(const std::string& host, std::uint16_t port) {
+    return SynthClient(Socket::connect_tcp(host, port));
+  }
+
+  SynthClient(SynthClient&&) = default;
+  SynthClient& operator=(SynthClient&&) = default;
+
+  /// Send one raw protocol message.
+  void send(const Json& msg);
+
+  /// Receive one message; false on server-side EOF. Throws on frame
+  /// corruption.
+  bool recv(Json* msg);
+
+  /// Submit a job and wait for its admission verdict: the returned frame is
+  /// either {"type":"accepted",...} or {"type":"error",...} (e.g.
+  /// OVERLOADED). Throws std::runtime_error if the connection drops first.
+  Json submit(const JobRequest& request);
+
+  /// Read frames until the terminal frame for `id` arrives — "result",
+  /// "cancelled", or an "error" carrying this id — and return it.
+  /// Every other frame seen on the way (progress, cancel_ack, unrelated
+  /// jobs) goes to `on_event` when provided. Throws std::runtime_error on
+  /// EOF before the terminal frame.
+  Json await(const std::string& id,
+             const std::function<void(const Json&)>& on_event = nullptr);
+
+  /// Request cancellation of an in-flight job (fire-and-forget; the
+  /// cancel_ack and the job's terminal frame arrive via await/recv).
+  void cancel(const std::string& id);
+
+  /// Round-trip a ping; false when the server did not answer.
+  bool ping();
+
+  /// Ask the daemon to shut down; returns once it acknowledges.
+  void shutdown_server();
+
+ private:
+  explicit SynthClient(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+};
+
+}  // namespace emorphic::service

@@ -1,0 +1,76 @@
+#pragma once
+// Bounded MPMC admission queue for the synthesis server.
+//
+// Admission is non-blocking by design: a full queue rejects immediately
+// (try_push -> false), which the server maps to a typed OVERLOADED error —
+// backpressure is explicit on the wire, never an unbounded in-memory queue
+// or a silently blocked session thread. close() implements the server's
+// drain-on-shutdown: admission stops, but pop() keeps delivering what was
+// already accepted until the queue is empty.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace emorphic::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueue unless the queue is full or closed. Never blocks.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Dequeue the oldest item, blocking while the queue is empty and open.
+  /// Returns false only when the queue is closed AND drained.
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stop admission; consumers drain the remainder, then pop returns false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace emorphic::service

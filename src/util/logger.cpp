@@ -6,6 +6,8 @@
 namespace emorphic {
 namespace {
 std::mutex g_log_mutex;
+// Guarded by g_log_mutex; nullptr means std::cerr.
+std::ostream* g_sink = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,15 +26,31 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel& Logger::threshold() {
-  static LogLevel level = LogLevel::kWarn;
+std::atomic<LogLevel>& Logger::threshold_ref() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = sink;
 }
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(threshold())) return;
+  // Compose the whole line first, then emit it with one guarded write:
+  // concurrent loggers can interleave lines, never characters.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out.flush();
 }
 
 }  // namespace emorphic

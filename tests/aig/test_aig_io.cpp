@@ -67,6 +67,95 @@ TEST(AigIo, AigerHeaderValidation) {
   EXPECT_THROW(read_aiger("aag 2 1 1 0 0\n2\n"), std::runtime_error);  // latch
 }
 
+// --- server-hardening negative suite ----------------------------------------
+// The synthesis daemon feeds client-supplied text straight into read_aiger;
+// every malformed shape below must throw std::runtime_error (never assert,
+// never read out of bounds, never allocate off attacker-declared counts).
+
+TEST(AigIo, AigerRejectsTruncatedHeader) {
+  EXPECT_THROW(read_aiger(""), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag"), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 3 2 0"), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 3 2 0 1"), std::runtime_error);
+}
+
+TEST(AigIo, AigerRejectsNonNumericTokens) {
+  EXPECT_THROW(read_aiger("aag x 2 0 1 1\n"), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\nfoo\n4\n6\n6 2 4\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 two 4\n"),
+               std::runtime_error);
+}
+
+TEST(AigIo, AigerRejectsOutOfRangeLiterals) {
+  // PI literal 99 exceeds 2m+1 = 7.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n99\n4\n6\n6 2 4\n"),
+               std::runtime_error);
+  // AND output literal out of range.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n6\n88 2 4\n"),
+               std::runtime_error);
+  // PO literal out of range.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n99\n6 2 4\n"),
+               std::runtime_error);
+}
+
+TEST(AigIo, AigerRejectsOversizedDeclaredCounts) {
+  // Counts that could never fit in the input must be rejected before any
+  // allocation is sized from them.
+  EXPECT_THROW(read_aiger("aag 4000000000 4000000000 0 0 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 4000000000 1 0 4000000000 0\n2\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 18446744073709551615 1 0 1 0\n2\n2\n"),
+               std::runtime_error);
+  // Header arithmetic: i + a may not exceed m.
+  EXPECT_THROW(read_aiger("aag 2 2 0 0 2\n2\n4\n"), std::runtime_error);
+}
+
+TEST(AigIo, AigerRejectsMalformedDefinitions) {
+  // Odd (complemented) PI literal.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n3\n4\n6\n6 2 4\n"),
+               std::runtime_error);
+  // Constant literal declared as PI.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n0\n4\n6\n6 2 4\n"),
+               std::runtime_error);
+  // Duplicate definition (PI literal repeated).
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n2\n6\n6 2 4\n"),
+               std::runtime_error);
+  // AND redefines a PI literal.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n6\n2 2 4\n"),
+               std::runtime_error);
+  // Odd AND output literal.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n6\n7 2 4\n"),
+               std::runtime_error);
+}
+
+TEST(AigIo, AigerRejectsUseBeforeDefinition) {
+  // The AND at literal 6 references literal 8, defined only later — the
+  // reader requires topological order (matching write_aiger's output).
+  EXPECT_THROW(
+      read_aiger("aag 4 1 0 1 3\n2\n6\n6 8 2\n8 2 2\n4 2 2\n"),
+      std::runtime_error);
+  // PO references a never-defined literal inside range.
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 0\n2\n4\n6\n"), std::runtime_error);
+}
+
+TEST(AigIo, AigerRejectsTruncatedSections) {
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n"), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n6\n"), std::runtime_error);
+  EXPECT_THROW(read_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 2\n"),
+               std::runtime_error);
+}
+
+TEST(AigIo, AigerAcceptsMinimalValidCircuit) {
+  // The happy path of the shapes above: 2 PIs, one AND, one PO.
+  Aig aig = read_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n");
+  EXPECT_EQ(aig.num_pis(), 2u);
+  EXPECT_EQ(aig.num_pos(), 1u);
+  EXPECT_EQ(aig.num_ands(), 1u);
+  EXPECT_EQ(exhaustive_tt(aig, 0), tt_var(0, 2) & tt_var(1, 2));
+}
+
 TEST(AigIo, AigerConstantOutputs) {
   Aig aig;
   aig.add_pi();

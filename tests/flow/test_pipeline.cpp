@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <string_view>
+#include <thread>
 
 #include "../test_helpers.hpp"
 #include "benchgen/arith.hpp"
@@ -187,6 +189,7 @@ TEST(Pipeline, CancellationBetweenStages) {
   FlowResult result = Pipeline::emorphic().run(ctx);
 
   EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.stop_reason, FlowStopReason::kCancelled);
   EXPECT_EQ(observer.stage_begin, 3);  // ResynRounds, EgraphConversion, Rewrite
   EXPECT_TRUE(result.sa.trace.empty());
   EXPECT_EQ(result.qor.area, 0.0);  // TechMap never ran
@@ -222,6 +225,7 @@ TEST(Pipeline, CancellationMidSaExtract) {
   FlowResult result = Pipeline::emorphic().run(ctx);
 
   EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.stop_reason, FlowStopReason::kCancelled);
   EXPECT_LT(static_cast<int>(result.sa.trace.size()), full_moves);
   // A cancelled SA still reports its best-so-far solution.
   EXPECT_GT(result.sa.evaluations, 0u);
@@ -234,7 +238,55 @@ TEST(Pipeline, TimeBudgetStopsImmediately) {
   ctx.time_budget_s = 1e-9;
   FlowResult result = Pipeline::emorphic().run(ctx);
   EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.stop_reason, FlowStopReason::kDeadline);
   EXPECT_TRUE(result.telemetry.stages.empty());
+}
+
+TEST(Pipeline, BudgetExpiryDuringFinalStageReportsDeadline) {
+  // Regression: a budget that fires *inside the last stage* used to be
+  // indistinguishable from a clean completion — no stage is skipped, so
+  // `cancelled` stays false. stop_reason must still say kDeadline.
+  class PollUntilStopped : public Stage {
+   public:
+    const char* name() const override { return "PollUntilStopped"; }
+    void run(FlowContext& ctx) const override {
+      for (int i = 0; i < 5000; ++i) {
+        if (ctx.should_stop()) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+
+  Pipeline pipeline;
+  pipeline.add(std::make_unique<PollUntilStopped>());
+  FlowContext ctx;
+  ctx.params = quick_params();
+  ctx.input = make_adder(4);
+  ctx.time_budget_s = 0.05;  // fires while the single (= final) stage runs
+  FlowResult result = pipeline.run(ctx);
+
+  EXPECT_FALSE(result.cancelled);  // every stage executed
+  EXPECT_EQ(result.stop_reason, FlowStopReason::kDeadline);
+  EXPECT_EQ(result.telemetry.stages.size(), 1u);
+}
+
+TEST(Pipeline, StopReasonResetsBetweenRuns) {
+  // A context that was cancelled once must not leak the stale reason into
+  // its next, untroubled run.
+  std::atomic<bool> cancel{true};
+  FlowContext ctx;
+  ctx.params = quick_params();
+  ctx.input = make_adder(4);
+  ctx.cancel = &cancel;
+  FlowResult stopped = Pipeline::emorphic().run(ctx);
+  EXPECT_TRUE(stopped.cancelled);
+  EXPECT_EQ(stopped.stop_reason, FlowStopReason::kCancelled);
+
+  cancel.store(false);
+  FlowResult clean = Pipeline::emorphic().run(ctx);
+  EXPECT_FALSE(clean.cancelled);
+  EXPECT_EQ(clean.stop_reason, FlowStopReason::kNone);
+  EXPECT_STREQ(to_string(clean.stop_reason), "none");
 }
 
 TEST(Pipeline, ContextIsReusableAcrossRuns) {

@@ -1,0 +1,103 @@
+// BoundedQueue semantics: non-blocking admission with a hard bound, FIFO
+// delivery, and drain-on-close.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "service/job_queue.hpp"
+
+namespace emorphic::service {
+namespace {
+
+TEST(BoundedQueue, DeliversFifo) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(queue.pop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueue, RejectsWhenFullWithoutBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: immediate, typed rejection
+  int out = 0;
+  EXPECT_TRUE(queue.pop(&out));
+  EXPECT_TRUE(queue.try_push(3));  // a slot freed up
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(1);
+  int out = 0;
+  std::thread consumer([&] { EXPECT_TRUE(queue.pop(&out)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(queue.try_push(7));
+  consumer.join();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));  // admission stopped immediately
+  int out = 0;
+  EXPECT_TRUE(queue.pop(&out));  // ...but the backlog still drains
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.pop(&out));  // drained + closed
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumers) {
+  BoundedQueue<int> queue(1);
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.pop(&out)) {
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  for (std::thread& t : consumers) t.join();  // must not hang
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
+  BoundedQueue<int> queue(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.try_push(i)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      int out = 0;
+      while (queue.pop(&out)) consumed.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+  EXPECT_EQ(consumed.load(), kPerProducer * kProducers);
+}
+
+}  // namespace
+}  // namespace emorphic::service

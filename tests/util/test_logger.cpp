@@ -1,0 +1,111 @@
+// Thread-safety tests for util/logger: the synthesis daemon logs from
+// session threads and flow workers concurrently, so every emitted line must
+// arrive intact (no interleaved fragments) and threshold flips must be safe
+// to do while other threads log.
+
+#include "util/logger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace emorphic {
+namespace {
+
+/// RAII: redirect the logger into a private stream and restore on exit so
+/// other tests keep their stderr behavior and threshold.
+class SinkCapture {
+ public:
+  SinkCapture() : previous_threshold_(Logger::threshold()) {
+    Logger::set_sink(&stream_);
+    Logger::set_threshold(LogLevel::kDebug);
+  }
+  ~SinkCapture() {
+    Logger::set_sink(nullptr);
+    Logger::set_threshold(previous_threshold_);
+  }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel previous_threshold_;
+};
+
+TEST(Logger, FormatsOneLinePerMessage) {
+  SinkCapture capture;
+  log_info() << "hello " << 42;
+  log_warn() << "watch out";
+  EXPECT_EQ(capture.text(), "[INFO] hello 42\n[WARN] watch out\n");
+}
+
+TEST(Logger, ThresholdFilters) {
+  SinkCapture capture;
+  Logger::set_threshold(LogLevel::kWarn);
+  log_debug() << "dropped";
+  log_info() << "dropped too";
+  log_error() << "kept";
+  EXPECT_EQ(capture.text(), "[ERROR] kept\n");
+}
+
+TEST(Logger, ConcurrentWritersNeverInterleaveWithinALine) {
+  SinkCapture capture;
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      // Long payloads make torn writes likely if the sink is not guarded
+      // per line: each worker's payload is one repeated character, so any
+      // interleaving corrupts the homogeneous body.
+      std::string body(256, static_cast<char>('a' + t));
+      for (int k = 0; k < kLines; ++k) {
+        log_info() << "w" << t << " " << body;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::istringstream in(capture.text());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    ASSERT_EQ(line.rfind("[INFO] w", 0), 0u) << "torn line: " << line;
+    std::string body = line.substr(line.find_last_of(' ') + 1);
+    ASSERT_EQ(body.size(), 256u) << "torn line: " << line;
+    // The body must be homogeneous — a single writer's characters only.
+    EXPECT_TRUE(std::all_of(body.begin(), body.end(),
+                            [&](char c) { return c == body[0]; }))
+        << "interleaved line: " << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+TEST(Logger, ThresholdFlipsAreSafeWhileLogging) {
+  SinkCapture capture;
+  std::thread flipper([] {
+    for (int i = 0; i < 500; ++i) {
+      Logger::set_threshold(i % 2 == 0 ? LogLevel::kDebug : LogLevel::kError);
+    }
+    Logger::set_threshold(LogLevel::kDebug);
+  });
+  std::thread writer([] {
+    for (int i = 0; i < 500; ++i) log_info() << "tick " << i;
+  });
+  flipper.join();
+  writer.join();
+  // No crash / no torn lines is the property; the count depends on timing.
+  std::istringstream in(capture.text());
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("[INFO] tick ", 0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace emorphic
