@@ -1,12 +1,23 @@
 #include "aig/cut.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "aig/choice.hpp"
+#include "util/thread_pool.hpp"
 
 namespace emorphic {
+
+namespace {
+
+/// Waves narrower than this run on the calling thread: dispatching a
+/// handful of nodes through the pool costs more than computing them.
+/// Purely a throughput threshold — the cut lists are identical either way.
+constexpr std::size_t kMinParallelWave = 16;
+
+}  // namespace
 
 bool Cut::subset_of(const Cut& other) const {
   unsigned j = 0;
@@ -17,15 +28,19 @@ bool Cut::subset_of(const Cut& other) const {
   return true;
 }
 
-CutManager::CutManager(const Aig& aig, const CutParams& params, CutArena* arena)
-    : CutManager(aig, static_cast<const AigChoices*>(nullptr), params, arena) {}
+CutManager::CutManager(const Aig& aig, const CutParams& params, CutArena* arena,
+                       ThreadPool* pool)
+    : CutManager(aig, static_cast<const AigChoices*>(nullptr), params, arena,
+                 pool) {}
 
 CutManager::CutManager(const Aig& aig, const AigChoices& choices,
-                       const CutParams& params, CutArena* arena)
-    : CutManager(aig, &choices, params, arena) {}
+                       const CutParams& params, CutArena* arena,
+                       ThreadPool* pool)
+    : CutManager(aig, &choices, params, arena, pool) {}
 
 CutManager::CutManager(const Aig& aig, const AigChoices* choices,
-                       const CutParams& params, CutArena* arena)
+                       const CutParams& params, CutArena* arena,
+                       ThreadPool* pool)
     : aig_(aig),
       params_(params),
       choices_(choices),
@@ -58,27 +73,114 @@ CutManager::CutManager(const Aig& aig, const AigChoices* choices,
   // Constant node: a single empty cut whose function is constant 0.
   arena_->slots[0].push_back(Cut{});
 
+  const std::size_t threads =
+      pool != nullptr ? pool->size() : params_.num_threads;
+  if (threads <= 1) {
+    enumerate_serial();
+  } else {
+    enumerate_parallel(pool);
+  }
+}
+
+void CutManager::process_node(Var v, std::vector<Cut>& scratch) {
+  if (v == 0) return;
+  if (aig_.is_pi(v)) {
+    Cut trivial;
+    trivial.size = 1;
+    trivial.leaves[0] = v;
+    trivial.tt = tt_var(0, 1);
+    arena_->slots[v].push_back(trivial);
+    return;
+  }
+  compute(v, scratch);
+  if (choices_ != nullptr && choices_->has_ring(v)) merge_choice_cuts(v);
+}
+
+void CutManager::enumerate_serial() {
   // With choices, a representative's merged list must be complete before
   // any node consumes it, and a ring member can carry a *larger* index
   // than its representative — so the traversal follows the annotation's
   // schedule (members before representative) instead of index order.
-  auto process = [&](Var v) {
+  if (choices_ != nullptr) {
+    for (Var v : choices_->order()) process_node(v, arena_->scratch);
+  } else {
+    for (Var v = 1; v < aig_.num_nodes(); ++v) {
+      process_node(v, arena_->scratch);
+    }
+  }
+}
+
+void CutManager::enumerate_parallel(ThreadPool* external_pool) {
+  const std::size_t n = aig_.num_nodes();
+
+  // Wave index = earliest parallel step at which a node's inputs are all
+  // complete: 1 + max over fanin waves, and — for a choice-class
+  // representative — over every ring member's wave too, so member cut
+  // lists exist before merge_choice_cuts reads them. Computed along the
+  // serial traversal order, whose invariant (dependencies first) makes the
+  // single forward sweep sufficient.
+  std::vector<std::uint32_t>& wave = arena_->waves;
+  wave.assign(n, 0);
+  std::uint32_t num_waves = 0;
+  auto wave_of = [&](Var v) -> std::uint32_t {
+    if (v == 0 || !aig_.is_and(v)) return 0;
+    std::uint32_t w = 1 + std::max(wave[lit_var(aig_.fanin0(v))],
+                                   wave[lit_var(aig_.fanin1(v))]);
+    if (choices_ != nullptr && choices_->has_ring(v)) {
+      for (Var m : choices_->ring(v)) w = std::max(w, wave[m] + 1);
+    }
+    return w;
+  };
+
+  // PIs (wave 0) are trivial; seed them inline and bucket the AND nodes by
+  // wave, preserving the serial traversal order inside each bucket. Each
+  // node's result depends only on earlier-wave slots and every node writes
+  // only its own slot, so intra-wave order is irrelevant to the outcome —
+  // contiguous deterministic slices merely keep the chunking simple.
+  std::vector<std::vector<Var>>& buckets = arena_->wave_nodes;
+  auto bucket_node = [&](Var v) {
     if (v == 0) return;
     if (aig_.is_pi(v)) {
-      Cut trivial;
-      trivial.size = 1;
-      trivial.leaves[0] = v;
-      trivial.tt = tt_var(0, 1);
-      arena_->slots[v].push_back(trivial);
+      process_node(v, arena_->scratch);
       return;
     }
-    compute(v);
-    if (choices_ != nullptr && choices_->has_ring(v)) merge_choice_cuts(v);
+    std::uint32_t w = wave_of(v);
+    wave[v] = w;
+    num_waves = std::max(num_waves, w + 1);
+    if (buckets.size() < num_waves) buckets.resize(num_waves);
+    buckets[w - 1].push_back(v);  // wave w >= 1 for AND nodes
   };
+  for (std::vector<Var>& b : buckets) b.clear();
   if (choices_ != nullptr) {
-    for (Var v : choices_->order()) process(v);
+    for (Var v : choices_->order()) bucket_node(v);
   } else {
-    for (Var v = 1; v < aig_.num_nodes(); ++v) process(v);
+    for (Var v = 1; v < aig_.num_nodes(); ++v) bucket_node(v);
+  }
+
+  std::optional<ThreadPool> own_pool;
+  if (external_pool == nullptr) own_pool.emplace(params_.num_threads);
+  ThreadPool& pool = external_pool != nullptr ? *external_pool : *own_pool;
+  const std::size_t workers = std::max<std::size_t>(1, pool.size());
+  if (arena_->worker_scratch.size() < workers) {
+    arena_->worker_scratch.resize(workers);
+  }
+
+  for (std::uint32_t w = 0; w < num_waves; ++w) {
+    const std::vector<Var>& nodes = buckets[w];
+    if (nodes.empty()) continue;
+    if (nodes.size() < kMinParallelWave) {
+      for (Var v : nodes) process_node(v, arena_->scratch);
+      continue;
+    }
+    const std::size_t chunks = std::min(workers, nodes.size());
+    pool.parallel_for(chunks, [&](std::size_t ci) {
+      const std::size_t lo = nodes.size() * ci / chunks;
+      const std::size_t hi = nodes.size() * (ci + 1) / chunks;
+      std::vector<Cut>& scratch = arena_->worker_scratch[ci];
+      for (std::size_t i = lo; i < hi; ++i) {
+        process_node(nodes[i], scratch);
+      }
+    });
   }
 }
 
@@ -161,13 +263,17 @@ bool CutManager::merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b,
   return true;
 }
 
-void CutManager::compute(Var v) {
+void CutManager::compute(Var v, std::vector<Cut>& scratch) {
   const Lit f0 = aig_.fanin0(v);
   const Lit f1 = aig_.fanin1(v);
   const auto& cuts0 = arena_->slots[lit_var(f0)];
   const auto& cuts1 = arena_->slots[lit_var(f1)];
 
-  std::vector<Cut>& result = arena_->scratch;
+  // The caller hands a per-worker scratch vector: in the wave-parallel
+  // pass several nodes compute concurrently and must not share one merge
+  // workspace. All shared state touched here is read-only (earlier-wave
+  // slots, levels) except the node's own slot.
+  std::vector<Cut>& result = scratch;
   result.clear();
   result.reserve(params_.num_cuts + 1);
 

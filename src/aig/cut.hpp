@@ -14,6 +14,16 @@
 // list. Cuts therefore cross structural variants — the property ABC's
 // `if` mapper gets from `dch` choices — and the mapper picks the best
 // match over the whole class (see docs/mapping-internals.md).
+//
+// Enumeration can run in parallel (CutParams::num_threads > 1, or an
+// external ThreadPool): nodes are partitioned into dependency waves —
+// topological levels over fanin edges, extended with ring edges when a
+// choice annotation is present, so a representative's wave follows every
+// ring member's — and each wave is enumerated across the workers with
+// per-worker merge scratch. A node's cut list is a pure function of its
+// fanin (and ring-member) lists, and every node writes only its own slot,
+// so the parallel result is *bit-identical* to the serial pass for any
+// thread count (tests/aig/test_cut_parallel.cpp holds this to the letter).
 
 #include <array>
 #include <cstdint>
@@ -25,6 +35,7 @@
 namespace emorphic {
 
 class AigChoices;
+class ThreadPool;
 
 /// Hard upper bound on cut width: the truth table of a cut function must
 /// fit one 64-bit word (2^6 minterms). This is the *enumeration* limit —
@@ -47,6 +58,11 @@ struct Cut {
 struct CutParams {
   unsigned cut_size = 6;   // K: maximum number of leaves
   unsigned num_cuts = 8;   // C: priority cuts kept per node (plus trivial)
+  /// Worker threads for wave-parallel enumeration; <= 1 runs the serial
+  /// pass. Ignored when the CutManager constructor receives an external
+  /// ThreadPool (its size wins). Any value produces bit-identical cut
+  /// lists — this is a throughput knob, never a result knob.
+  unsigned num_threads = 1;
 };
 
 /// Reusable cut storage. Hot paths (the SA cost evaluator) construct one
@@ -58,14 +74,25 @@ struct CutArena {
   std::vector<std::vector<Cut>> slots;   // per-node cut lists
   std::vector<Cut> scratch;              // merge workspace for one node
   std::vector<std::uint32_t> levels;     // cut priority ordering
+  /// Per-worker merge workspaces for the wave-parallel pass (one per pool
+  /// worker, reused across enumerations like `scratch` is).
+  std::vector<std::vector<Cut>> worker_scratch;
+  /// Wave schedule scratch (parallel pass only): per-node wave index and
+  /// the nodes of each wave, bucketed in traversal order.
+  std::vector<std::uint32_t> waves;
+  std::vector<std::vector<Var>> wave_nodes;
 };
 
 /// Enumerates priority cuts bottom-up for every node of an AIG.
 /// Throws std::invalid_argument unless 2 <= cut_size <= kMaxCutSize.
 class CutManager {
  public:
+  /// Plain enumeration. With params.num_threads > 1 (or a non-null `pool`)
+  /// the waves run across workers — an own pool is spun up when none is
+  /// supplied; pass a shared one to amortize thread startup over repeated
+  /// enumerations. The cut lists are bit-identical either way.
   CutManager(const Aig& aig, const CutParams& params,
-             CutArena* arena = nullptr);
+             CutArena* arena = nullptr, ThreadPool* pool = nullptr);
 
   /// Choice-aware enumeration: traverse in `choices.order()` (which must be
   /// finalized) and merge every ring member's cuts into its
@@ -73,8 +100,12 @@ class CutManager {
   /// Every cut of a representative then expresses the representative's
   /// positive function, whatever variant it was enumerated in. Throws
   /// std::invalid_argument when the annotation does not fit the AIG.
+  /// Parallelism follows the plain constructor's contract (ring edges join
+  /// the wave partial order, so member lists are complete before their
+  /// representative merges them).
   CutManager(const Aig& aig, const AigChoices& choices,
-             const CutParams& params, CutArena* arena = nullptr);
+             const CutParams& params, CutArena* arena = nullptr,
+             ThreadPool* pool = nullptr);
 
   // arena_ may point at the own_ member, so compiler-generated copies/moves
   // would dangle.
@@ -93,9 +124,12 @@ class CutManager {
 
  private:
   CutManager(const Aig& aig, const AigChoices* choices,
-             const CutParams& params, CutArena* arena);
+             const CutParams& params, CutArena* arena, ThreadPool* pool);
 
-  void compute(Var v);
+  void process_node(Var v, std::vector<Cut>& scratch);
+  void enumerate_serial();
+  void enumerate_parallel(ThreadPool* pool);
+  void compute(Var v, std::vector<Cut>& scratch);
   void merge_choice_cuts(Var rep);
   bool merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b, Cut& out) const;
 

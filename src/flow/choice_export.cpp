@@ -258,4 +258,24 @@ ChoiceMapOutcome map_with_choices_gated(const ChoiceAig& caig,
                           plain_qor, choice_qor, adopt};
 }
 
+LutChoiceOutcome map_luts_with_choices_gated(const ChoiceAig& caig,
+                                             const LutMapperParams& params,
+                                             LutWorkspace* workspace,
+                                             ThreadPool* pool) {
+  LutNetwork choice = map_to_luts(caig, params, workspace, pool);
+  // Same baseline rationale as the cell version: mapping caig.aig without
+  // the rings is exactly the plain mapping of the committed extraction —
+  // alternative cones carry no PO-reachable fanout, so they affect neither
+  // the reference estimate nor the cover.
+  LutNetwork plain = map_to_luts(caig.aig, params, workspace, pool);
+
+  LutQor plain_qor = lut_qor(plain);
+  LutQor choice_qor = lut_qor(choice);
+  // Unit costs are exact integers; no epsilon needed.
+  bool adopt = choice_qor.area <= plain_qor.area &&
+               choice_qor.depth <= plain_qor.depth;
+  return LutChoiceOutcome{adopt ? std::move(choice) : std::move(plain),
+                          plain_qor, choice_qor, adopt};
+}
+
 }  // namespace emorphic

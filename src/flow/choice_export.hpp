@@ -27,6 +27,7 @@
 #include "aig/choice.hpp"
 #include "extract/extractor.hpp"
 #include "flow/conversion.hpp"
+#include "mapper/lut_mapper.hpp"
 #include "mapper/tech_mapper.hpp"
 
 namespace emorphic {
@@ -94,5 +95,29 @@ ChoiceMapOutcome map_with_choices_gated(const ChoiceAig& caig,
                                         const Matcher& matcher,
                                         const MapperParams& params = {},
                                         MapperWorkspace* workspace = nullptr);
+
+/// Result of one gated choice-aware LUT mapping (map_luts_with_choices_gated).
+struct LutChoiceOutcome {
+  /// The adopted cover: the choice-aware one, or the plain fallback.
+  LutNetwork network;
+  /// QoR of the plain LUT mapping of the representative cone alone.
+  LutQor plain;
+  /// QoR of the raw choice-aware LUT mapping across all ring variants.
+  LutQor choice;
+  /// True when the choice-aware cover was adopted.
+  bool adopted_choice = false;
+};
+
+/// LUT-backend counterpart of map_with_choices_gated: map `caig` across its
+/// choice rings AND map its representative cone plainly, then adopt the
+/// choice-aware cover only when it is no worse in BOTH LUT count and LUT
+/// depth (the same Pareto gate, on exact integer costs). Both runs share
+/// the workspace and the identical selection DP, so the comparison
+/// isolates the rings themselves. The optional pool parallelizes cut
+/// enumeration only (bit-identical results, see aig/cut.hpp).
+LutChoiceOutcome map_luts_with_choices_gated(const ChoiceAig& caig,
+                                             const LutMapperParams& params = {},
+                                             LutWorkspace* workspace = nullptr,
+                                             ThreadPool* pool = nullptr);
 
 }  // namespace emorphic

@@ -48,6 +48,7 @@ FlowResult FlowContext::take_result() {
   result.qor = qor;
   result.final_aig = std::move(current);
   result.netlist = std::move(netlist);
+  result.lut_netlist = std::move(lut_netlist);
   result.telemetry = std::move(telemetry);
   result.rewrite_report = std::move(rewrite_report);
   result.sa = std::move(sa);
@@ -264,6 +265,41 @@ void ChoiceMapStage::run(FlowContext& ctx) const {
   ctx.qor.lev = ctx.current.num_levels();
 }
 
+// --- lutmap -----------------------------------------------------------------
+
+void LutMapStage::run(FlowContext& ctx) const {
+  const FlowParams& params = ctx.params;
+  LutMapperParams lut_params;
+  lut_params.lut_size = params.lut_size;
+  if (params.use_choicemap && ctx.egraph.has_value()) {
+    // Choice-aware tail, mirroring ChoiceMapStage: lower the committed
+    // extraction plus the verified rings and LUT-map across all variants,
+    // Pareto-gated so the rings can only improve the cover.
+    Extraction solution =
+        ctx.sa_valid
+            ? ctx.sa.best
+            : greedy_extract(ctx.egraph->egraph, CostModel{CostKind::kDepth});
+    ChoiceAig choice_aig = egraph_to_choice_aig(*ctx.egraph, solution,
+                                                params.choice_export,
+                                                &ctx.choice_stats);
+    ctx.current = egraph_to_aig(*ctx.egraph, solution);
+    LutChoiceOutcome outcome = map_luts_with_choices_gated(
+        choice_aig, lut_params, &ctx.lut_workspace, ctx.pool);
+    ctx.lut_netlist = std::move(outcome.network);
+  } else {
+    ctx.current = strash(ctx.current);
+    ctx.lut_netlist =
+        map_to_luts(ctx.current, lut_params, &ctx.lut_workspace, ctx.pool);
+  }
+  // The two backends are mutually exclusive outputs of one run: a stale
+  // cell netlist would misreport the flow that actually ran.
+  ctx.netlist.reset();
+  ctx.netlist_is_current = false;
+  ctx.qor.area = ctx.lut_netlist->area();  // LUT count
+  ctx.qor.delay = static_cast<double>(ctx.lut_netlist->depth());  // LUT levels
+  ctx.qor.lev = ctx.current.num_levels();
+}
+
 // --- stage registry ---------------------------------------------------------
 
 namespace {
@@ -288,6 +324,7 @@ std::map<std::string, StageFactory>& registry() {
     map["Cec"] = [] { return StagePtr(new CecStage()); };
     map["fraig"] = [] { return StagePtr(new FraigStage()); };
     map["choicemap"] = [] { return StagePtr(new ChoiceMapStage()); };
+    map["lutmap"] = [] { return StagePtr(new LutMapStage()); };
     return map;
   }();
   return stages;
@@ -353,6 +390,7 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
   ctx.current = ctx.input;
   ctx.egraph.reset();
   ctx.netlist.reset();
+  ctx.lut_netlist.reset();
   ctx.netlist_is_current = false;
   ctx.sa_valid = false;
   ctx.qor = FlowQor{};
@@ -417,7 +455,11 @@ Pipeline Pipeline::baseline(const FlowParams& params) {
   if (params.fraig_pre) pipeline.add(StagePtr(new FraigStage()));
   pipeline.add(StagePtr(new ResynRoundsStage(ResynRoundsStage::Rounds::kAll)));
   if (params.fraig_post) pipeline.add(StagePtr(new FraigStage()));
-  pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/false)));
+  if (params.use_lutmap) {
+    pipeline.add(StagePtr(new LutMapStage()));
+  } else {
+    pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/false)));
+  }
   return pipeline;
 }
 
@@ -433,12 +475,18 @@ Pipeline Pipeline::emorphic(const FlowParams& params) {
     // Choice-aware tail: one stage lowers the SA winner plus the verified
     // alternative rings and maps across all of them. fraig_post has no
     // network to sweep here (the stage rebuilds ctx.current from the
-    // e-graph), so it is ignored in this configuration.
-    pipeline.add(StagePtr(new ChoiceMapStage()));
+    // e-graph), so it is ignored in this configuration. With use_lutmap
+    // the same shape holds, with LUTs as the backend.
+    pipeline.add(params.use_lutmap ? StagePtr(new LutMapStage())
+                                   : StagePtr(new ChoiceMapStage()));
   } else {
     pipeline.add(StagePtr(new EgraphConversionStage()));  // backward
     if (params.fraig_post) pipeline.add(StagePtr(new FraigStage()));
-    pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/true)));
+    if (params.use_lutmap) {
+      pipeline.add(StagePtr(new LutMapStage()));
+    } else {
+      pipeline.add(StagePtr(new TechMapStage(/*resynth_gate=*/true)));
+    }
   }
   pipeline.add(StagePtr(new CecStage()));
   return pipeline;

@@ -116,6 +116,18 @@ struct FlowParams {
   /// variants. `fraig_post` is ignored in this configuration (the network
   /// it would sweep is rebuilt from the e-graph inside the stage).
   bool use_choicemap = false;
+  /// Opt into the k-LUT mapping backend (mapper/lut_mapper.hpp): the
+  /// `baseline(params)`/`emorphic(params)` factories then end in the
+  /// "lutmap" stage instead of the final cell mapping, and the flow's QoR
+  /// reads LUT count (area) and LUT depth (delay). Combined with
+  /// `use_choicemap`, lutmap consumes the e-graph directly and maps
+  /// choice-aware across the verified rings (Pareto-gated, like
+  /// choicemap).
+  bool use_lutmap = false;
+  /// LUT input cap K for the lutmap stage; must lie in [2, kMaxCutSize]
+  /// — the stage (via map_to_luts) throws std::invalid_argument outside
+  /// that range, and the service rejects it as BAD_PARAMS at submit time.
+  unsigned lut_size = 6;
 };
 
 /// Quality-of-result summary of a finished flow.
@@ -167,6 +179,9 @@ struct FlowResult {
   FlowQor qor;
   Aig final_aig;
   std::optional<MappedNetlist> netlist;
+  /// The k-LUT cover when a "lutmap" stage ran (cell-mapping flows leave
+  /// it empty, LUT flows leave `netlist` empty).
+  std::optional<LutNetwork> lut_netlist;
   FlowTelemetry telemetry;
   RunnerReport rewrite_report;
   SaResult sa;
@@ -257,6 +272,8 @@ struct FlowContext {
   /// Reusable mapper scratch for this context's stages (stages run on one
   /// thread; SA chains use their own thread-local workspaces).
   MapperWorkspace mapper_workspace;
+  /// Reusable LUT-mapper scratch for the "lutmap" stage.
+  LutWorkspace lut_workspace;
 
   /// The shared matcher for params.library, building (or replacing) it if
   /// needed.
@@ -272,6 +289,8 @@ struct FlowContext {
   Aig current;  // the network being transformed
   std::optional<CircuitEGraph> egraph;
   std::optional<MappedNetlist> netlist;
+  /// Output of the "lutmap" stage (see FlowResult::lut_netlist).
+  std::optional<LutNetwork> lut_netlist;
   /// True while `netlist` corresponds to `current` (stages that change
   /// `current` clear it, so TechMap knows when a remap is needed).
   bool netlist_is_current = false;
@@ -446,6 +465,24 @@ class ChoiceMapStage : public Stage {
   void run(FlowContext& ctx) const override;
 };
 
+/// k-LUT technology mapping of ctx.current (mapper/lut_mapper.hpp): the
+/// FPGA-flavored final stage. The cover lands in ctx.lut_netlist and the
+/// flow QoR becomes LUT count (area) and LUT depth (delay); any cell
+/// netlist is cleared (the two backends are mutually exclusive outputs of
+/// one run). When ctx.egraph exists and params.use_choicemap is set, the
+/// stage subsumes the backward conversion like choicemap does: ctx.current
+/// becomes the committed extraction and the cover is the Pareto-gated
+/// choice-aware LUT mapping across the verified rings
+/// (map_luts_with_choices_gated). Configured by FlowParams::lut_size;
+/// registered as "lutmap". Every cover is CEC-proven against the stage
+/// input by the stage-equivalence gate
+/// (tests/integration/test_stage_equivalence.cpp).
+class LutMapStage : public Stage {
+ public:
+  const char* name() const override { return "lutmap"; }
+  void run(FlowContext& ctx) const override;
+};
+
 // --- stage registry ---------------------------------------------------------
 
 using StageFactory = std::function<StagePtr()>;
@@ -505,7 +542,10 @@ class Pipeline {
   /// `params.fraig_post` right before the final TechMap, and
   /// `params.use_choicemap` (emorphic only) swaps the backward
   /// EgraphConversion + TechMap pair for the choice-aware "choicemap"
-  /// stage. With all flags false these return the plain pipelines.
+  /// stage. `params.use_lutmap` swaps the final cell mapping for the
+  /// "lutmap" stage (combined with use_choicemap, one lutmap stage
+  /// consumes the e-graph choice-aware). With all flags false these
+  /// return the plain pipelines.
   static Pipeline baseline(const FlowParams& params);
   static Pipeline emorphic(const FlowParams& params);
 

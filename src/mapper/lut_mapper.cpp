@@ -1,0 +1,474 @@
+#include "mapper/lut_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "opt/sop.hpp"
+#include "util/thread_pool.hpp"
+
+namespace emorphic {
+
+namespace {
+
+constexpr double kInfFlow = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNoReq = 0xffffffffu;
+constexpr std::uint32_t kNoNet = 0xffffffffu;
+
+/// Best implementation of one node's positive function (LUTs absorb both
+/// input and output polarity into the table, so one polarity suffices —
+/// unlike the cell mapper's PhaseMatch pair).
+struct LutMatch {
+  std::uint32_t depth = kNoReq;  // LUT levels at the node's output
+  double area_flow = kInfFlow;
+  std::int32_t cut = -1;         // cut index at the node
+  bool is_const = false;         // node is semantically constant
+  bool const_val = false;        // ... of this value
+};
+
+/// The one selection preference, lexicographic on (depth, area flow) —
+/// kept as a named helper for the same reason as the cell mapper's
+/// lex_improves: pass 1 must not depend on FP tie-break accidents.
+bool lex_improves(std::uint32_t depth, double flow, const LutMatch& slot) {
+  if (depth != slot.depth) return depth < slot.depth;
+  return flow < slot.area_flow;
+}
+
+}  // namespace
+
+// --- LutNetwork --------------------------------------------------------------
+
+std::uint32_t LutNetwork::add_net(std::string name) {
+  net_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(net_names_.size() - 1);
+}
+
+std::uint32_t LutNetwork::add_lut(MappedLut lut) {
+  luts_.push_back(std::move(lut));
+  return static_cast<std::uint32_t>(luts_.size() - 1);
+}
+
+void LutNetwork::add_po(std::uint32_t net, std::string name) {
+  pos_.push_back(net);
+  po_names_.push_back(std::move(name));
+}
+
+void LutNetwork::set_const_net(std::uint32_t net, bool value) {
+  const_nets_.emplace_back(net, value);
+}
+
+std::vector<std::uint32_t> LutNetwork::levels() const {
+  std::vector<std::uint32_t> level(net_names_.size(), 0);
+  // LUTs are appended in topological order by the mapper.
+  for (const MappedLut& lut : luts_) {
+    std::uint32_t worst = 0;
+    for (std::uint32_t in : lut.inputs) worst = std::max(worst, level[in]);
+    level[lut.output] = worst + 1;
+  }
+  return level;
+}
+
+std::uint32_t LutNetwork::depth() const {
+  std::vector<std::uint32_t> level = levels();
+  std::uint32_t worst = 0;
+  for (std::uint32_t po : pos_) worst = std::max(worst, level[po]);
+  return worst;
+}
+
+Aig LutNetwork::to_aig() const {
+  Aig aig;
+  std::vector<Lit> net_lit(net_names_.size(), kLitFalse);
+  std::vector<bool> driven(net_names_.size(), false);
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    net_lit[pis_[i]] = make_lit(aig.add_pi(net_names_[pis_[i]]));
+    driven[pis_[i]] = true;
+  }
+  for (const auto& [net, value] : const_nets_) {
+    net_lit[net] = value ? kLitTrue : kLitFalse;
+    driven[net] = true;
+  }
+  for (const MappedLut& lut : luts_) {
+    const unsigned k = static_cast<unsigned>(lut.inputs.size());
+    std::vector<Lit> leaves(k);
+    for (unsigned j = 0; j < k; ++j) {
+      assert(driven[lut.inputs[j]] && "LUT netlists must be topological");
+      leaves[j] = net_lit[lut.inputs[j]];
+    }
+    net_lit[lut.output] = build_sop(aig, lut.tt & tt_mask(k), k, leaves);
+    driven[lut.output] = true;
+  }
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    if (!driven[pos_[i]]) {
+      throw std::runtime_error("LUT network PO net is undriven: " +
+                               net_names_[pos_[i]]);
+    }
+    aig.add_po(net_lit[pos_[i]], po_names_[i]);
+  }
+  return aig.cleanup();
+}
+
+std::string LutNetwork::to_blif(const std::string& model_name) const {
+  std::ostringstream out;
+  out << ".model " << model_name << "\n.inputs";
+  for (std::uint32_t net : pis_) out << ' ' << net_names_[net];
+  out << "\n.outputs";
+  for (std::size_t i = 0; i < pos_.size(); ++i) out << ' ' << po_names_[i];
+  out << "\n";
+  for (const auto& [net, value] : const_nets_) {
+    out << ".names " << net_names_[net] << "\n";
+    if (value) out << "1\n";
+  }
+  for (const MappedLut& lut : luts_) {
+    const unsigned k = static_cast<unsigned>(lut.inputs.size());
+    out << ".names";
+    for (std::uint32_t in : lut.inputs) out << ' ' << net_names_[in];
+    out << ' ' << net_names_[lut.output] << "\n";
+    // One cover row per ON-set minterm; row character j is input j.
+    const Tt f = lut.tt & tt_mask(k);
+    for (unsigned m = 0; m < (1u << k); ++m) {
+      if (((f >> m) & 1) == 0) continue;
+      for (unsigned j = 0; j < k; ++j) out << (((m >> j) & 1) ? '1' : '0');
+      out << " 1\n";
+    }
+  }
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    if (net_names_[pos_[i]] != po_names_[i]) {
+      out << ".names " << net_names_[pos_[i]] << ' ' << po_names_[i]
+          << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+// --- the mapper --------------------------------------------------------------
+
+struct LutWorkspace::Impl {
+  std::vector<LutMatch> state;
+  std::vector<std::uint32_t> required;
+  std::vector<std::uint32_t> net;
+  std::vector<std::uint32_t> inv_net;
+  std::vector<std::uint32_t> fanout;
+  std::vector<Var> stack;
+  CutArena cuts;
+};
+
+LutWorkspace::LutWorkspace() : impl_(std::make_unique<Impl>()) {}
+LutWorkspace::~LutWorkspace() = default;
+LutWorkspace::LutWorkspace(LutWorkspace&&) noexcept = default;
+LutWorkspace& LutWorkspace::operator=(LutWorkspace&&) noexcept = default;
+
+LutNetwork map_to_luts(const Aig& aig, const LutMapperParams& params,
+                       LutWorkspace* workspace, ThreadPool* pool) {
+  return detail::map_luts_with_choices(aig, nullptr, params, workspace, pool);
+}
+
+LutNetwork map_to_luts(const ChoiceAig& caig, const LutMapperParams& params,
+                       LutWorkspace* workspace, ThreadPool* pool) {
+  return detail::map_luts_with_choices(caig.aig, &caig.choices, params,
+                                       workspace, pool);
+}
+
+LutQor lut_qor(const LutNetwork& network) {
+  return LutQor{network.area(), network.depth()};
+}
+
+namespace detail {
+
+// Structure mirrors the cell mapper's map_with_choices: the choice-specific
+// behavior is only the traversal order (the annotation's schedule instead
+// of index order) and the choice-aware cut enumeration.
+LutNetwork map_luts_with_choices(const Aig& aig, const AigChoices* choices,
+                                 const LutMapperParams& params,
+                                 LutWorkspace* workspace, ThreadPool* pool) {
+  if (params.lut_size < 2 || params.lut_size > kMaxCutSize) {
+    throw std::invalid_argument(
+        "map_to_luts: lut_size must be in [2, kMaxCutSize = " +
+        std::to_string(kMaxCutSize) +
+        "] (a LUT configuration is one cut truth table, so the enumeration "
+        "bound is the backend bound), got " + std::to_string(params.lut_size));
+  }
+  std::optional<LutWorkspace> local;
+  if (workspace == nullptr) local.emplace();
+  LutWorkspace::Impl& ws =
+      workspace != nullptr ? *workspace->impl_ : *local->impl_;
+
+  CutParams cut_params;
+  cut_params.cut_size = params.lut_size;
+  cut_params.num_cuts = params.num_cuts;
+  cut_params.num_threads = params.num_threads;
+  std::optional<CutManager> cuts_storage;
+  if (choices != nullptr) {
+    cuts_storage.emplace(aig, *choices, cut_params, &ws.cuts, pool);
+  } else {
+    cuts_storage.emplace(aig, cut_params, &ws.cuts, pool);
+  }
+  CutManager& cuts = *cuts_storage;
+
+  // Area-flow reference estimate: fanout edges inside the PO-reachable
+  // cone only, exactly as in the cell mapper — dead logic (including
+  // choice-ring alternative cones) influences the available cuts but
+  // never the flow of shared live nodes.
+  std::vector<std::uint32_t>& fanout = ws.fanout;
+  fanout.assign(aig.num_nodes(), 0);
+  {
+    std::vector<std::uint8_t> reachable = aig.po_reachable();
+    for (Var v = 1; v < aig.num_nodes(); ++v) {
+      if (!reachable[v] || !aig.is_and(v)) continue;
+      ++fanout[lit_var(aig.fanin0(v))];
+      ++fanout[lit_var(aig.fanin1(v))];
+    }
+    for (Lit po : aig.pos()) ++fanout[lit_var(po)];
+  }
+
+  std::vector<LutMatch>& state = ws.state;
+  state.assign(aig.num_nodes(), LutMatch{});
+
+  // --- Pass 1: depth-optimal selection in topological order ---------------
+  auto pass1_node = [&](Var v) {
+    if (aig.is_pi(v)) {
+      state[v] = LutMatch{0, 0.0, -1, false, false};
+      return;
+    }
+    const double refs = std::max<double>(1.0, fanout[v]);
+    LutMatch& slot = state[v];
+    const auto& node_cuts = cuts.cuts(v);
+    for (std::int32_t ci = 0; ci < static_cast<std::int32_t>(node_cuts.size());
+         ++ci) {
+      const Cut& cut = node_cuts[ci];
+      if (cut.is_trivial(v)) continue;
+      const Tt f = cut.tt & tt_mask(cut.size);
+      if (f == 0 || f == tt_mask(cut.size)) {
+        // Semantically constant: a free net beats any LUT; (0, 0.0) also
+        // wins every lex comparison so it can never be displaced below.
+        if (!slot.is_const) {
+          slot = LutMatch{0, 0.0, ci, true, f != 0};
+        }
+        continue;
+      }
+      std::uint32_t depth = 0;
+      double flow = 1.0;  // unit LUT area
+      for (unsigned j = 0; j < cut.size; ++j) {
+        const LutMatch& lm = state[cut.leaves[j]];
+        depth = std::max(depth, lm.depth);
+        flow += lm.area_flow;
+      }
+      depth += 1;  // unit LUT delay
+      flow /= refs;
+      if (lex_improves(depth, flow, slot)) {
+        slot = LutMatch{depth, flow, ci, false, false};
+      }
+    }
+    // Every AND node has at least the (fanin0, fanin1) 2-leaf cut, so a
+    // selection always exists.
+    assert(slot.depth != kNoReq);
+  };
+  if (choices != nullptr) {
+    for (Var v : choices->order()) {
+      if (v != 0) pass1_node(v);
+    }
+  } else {
+    for (Var v = 1; v < aig.num_nodes(); ++v) pass1_node(v);
+  }
+
+  // --- Pass 2: required-depth area recovery -------------------------------
+  std::vector<std::uint32_t>& required = ws.required;
+  required.assign(aig.num_nodes(), kNoReq);
+  std::uint32_t target = 0;
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po(i);
+    const Var r = lit_var(po);
+    if (aig.is_and(r) && !state[r].is_const) {
+      target = std::max(target, state[r].depth);
+    } else if (aig.is_pi(r) && lit_is_compl(po)) {
+      target = std::max<std::uint32_t>(target, 1);  // PI inverter LUT
+    }
+  }
+  for (Lit po : aig.pos()) {
+    const Var r = lit_var(po);
+    required[r] = std::min(required[r], target);
+  }
+
+  if (params.area_recovery) {
+    // Reverse topological order — the reverse of the choice schedule when
+    // an annotation is present, so a node's requirement is final before
+    // its cut leaves (which may live inside alternative cones) see it.
+    auto pass2_node = [&](Var v) {
+      if (!aig.is_and(v)) return;
+      LutMatch& slot = state[v];
+      const std::uint32_t req = required[v];
+      if (req == kNoReq || slot.is_const) return;  // not in the cover / free
+      const double refs = std::max<double>(1.0, fanout[v]);
+      const auto& node_cuts = cuts.cuts(v);
+      double best_flow = slot.area_flow;
+      for (std::int32_t ci = 0;
+           ci < static_cast<std::int32_t>(node_cuts.size()); ++ci) {
+        const Cut& cut = node_cuts[ci];
+        if (cut.is_trivial(v)) continue;
+        const Tt f = cut.tt & tt_mask(cut.size);
+        if (f == 0 || f == tt_mask(cut.size)) continue;  // pass 1 took these
+        std::uint32_t depth = 0;
+        double flow = 1.0;
+        for (unsigned j = 0; j < cut.size; ++j) {
+          const LutMatch& lm = state[cut.leaves[j]];
+          depth = std::max(depth, lm.depth);
+          flow += lm.area_flow;
+        }
+        depth += 1;
+        flow /= refs;
+        if (depth > req) continue;
+        if (flow < best_flow) {
+          best_flow = flow;
+          slot = LutMatch{depth, flow, ci, false, false};
+        }
+      }
+      // Propagate requirements to the chosen cut's leaves.
+      const Cut& cut = node_cuts[slot.cut];
+      for (unsigned j = 0; j < cut.size; ++j) {
+        const Var leaf = cut.leaves[j];
+        required[leaf] = std::min(required[leaf], req - 1);
+      }
+    };
+    if (choices != nullptr) {
+      const std::vector<Var>& order = choices->order();
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (*it != 0) pass2_node(*it);
+      }
+    } else {
+      for (Var v = static_cast<Var>(aig.num_nodes()) - 1; v >= 1; --v) {
+        pass2_node(v);
+      }
+    }
+  }
+
+  // --- Pass 3: netlist construction ---------------------------------------
+  LutNetwork out;
+  std::vector<std::uint32_t>& net = ws.net;
+  std::vector<std::uint32_t>& inv_net = ws.inv_net;
+  net.assign(aig.num_nodes(), kNoNet);
+  inv_net.assign(aig.num_nodes(), kNoNet);
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    const Var v = aig.pis()[i];
+    net[v] = out.add_net(aig.pi_name(i));
+    out.add_pi(net[v]);
+  }
+
+  std::uint32_t const_net[2] = {kNoNet, kNoNet};
+  auto ensure_const = [&](bool value) {
+    std::uint32_t& slot = const_net[value ? 1 : 0];
+    if (slot == kNoNet) {
+      slot = out.add_net(value ? "const1" : "const0");
+      out.set_const_net(slot, value);
+    }
+    return slot;
+  };
+  // Net of a leaf that needs no LUT emission (PI / semantic constant);
+  // kNoNet for an AND node that still awaits emission.
+  auto leaf_net = [&](Var leaf) -> std::uint32_t {
+    if (net[leaf] != kNoNet) return net[leaf];
+    if (state[leaf].is_const) {
+      net[leaf] = ensure_const(state[leaf].const_val);
+      return net[leaf];
+    }
+    return kNoNet;
+  };
+
+  // Demand-driven emission of the positive polarities. A complemented PO
+  // does not demand its root's positive LUT — it demands the root's *cut
+  // leaves* and gets a dedicated LUT with the negated table afterwards
+  // (sharing the positive LUT's leaves), so a root referenced only in one
+  // polarity costs exactly one LUT.
+  std::vector<Var>& stack = ws.stack;
+  stack.clear();
+  auto need = [&](Var v) {
+    if (aig.is_and(v) && !state[v].is_const && net[v] == kNoNet) {
+      stack.push_back(v);
+    }
+  };
+  for (Lit po : aig.pos()) {
+    const Var r = lit_var(po);
+    if (!aig.is_and(r) || state[r].is_const) continue;
+    if (!lit_is_compl(po)) {
+      need(r);
+    } else {
+      const Cut& cut = cuts.cuts(r)[state[r].cut];
+      for (unsigned j = 0; j < cut.size; ++j) need(cut.leaves[j]);
+    }
+  }
+
+  while (!stack.empty()) {
+    const Var v = stack.back();
+    if (net[v] != kNoNet) {
+      stack.pop_back();
+      continue;
+    }
+    const LutMatch& slot = state[v];
+    assert(slot.cut >= 0 && !slot.is_const);
+    const Cut& cut = cuts.cuts(v)[slot.cut];
+    bool pending = false;
+    for (unsigned j = 0; j < cut.size; ++j) {
+      if (leaf_net(cut.leaves[j]) == kNoNet) {
+        stack.push_back(cut.leaves[j]);
+        pending = true;
+      }
+    }
+    if (pending) continue;
+    MappedLut lut;
+    lut.inputs.resize(cut.size);
+    for (unsigned j = 0; j < cut.size; ++j) {
+      lut.inputs[j] = leaf_net(cut.leaves[j]);
+    }
+    lut.tt = cut.tt & tt_mask(cut.size);
+    lut.output = out.add_net("n" + std::to_string(v));
+    net[v] = lut.output;
+    out.add_lut(std::move(lut));
+    stack.pop_back();
+  }
+
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po(i);
+    const Var r = lit_var(po);
+    const bool compl_po = lit_is_compl(po);
+    std::uint32_t po_net;
+    if (aig.is_const0(r)) {
+      po_net = ensure_const(compl_po);
+    } else if (state[r].is_const) {
+      po_net = ensure_const(state[r].const_val != compl_po);
+    } else if (!compl_po) {
+      po_net = net[r];
+    } else if (inv_net[r] != kNoNet) {
+      po_net = inv_net[r];
+    } else if (aig.is_pi(r)) {
+      MappedLut inv;
+      inv.inputs = {net[r]};
+      inv.tt = tt_not(tt_var(0, 1), 1);
+      inv.output = out.add_net("n" + std::to_string(r) + "_b");
+      inv_net[r] = inv.output;
+      out.add_lut(std::move(inv));
+      po_net = inv_net[r];
+    } else {
+      // Complemented root LUT: same leaves, negated table.
+      const Cut& cut = cuts.cuts(r)[state[r].cut];
+      MappedLut dup;
+      dup.inputs.resize(cut.size);
+      for (unsigned j = 0; j < cut.size; ++j) {
+        dup.inputs[j] = leaf_net(cut.leaves[j]);
+        assert(dup.inputs[j] != kNoNet);
+      }
+      dup.tt = tt_not(cut.tt, cut.size);
+      dup.output = out.add_net("n" + std::to_string(r) + "_b");
+      inv_net[r] = dup.output;
+      out.add_lut(std::move(dup));
+      po_net = inv_net[r];
+    }
+    out.add_po(po_net, aig.po_name(i));
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace emorphic

@@ -1,0 +1,179 @@
+#pragma once
+// Truth-table-driven k-LUT technology mapping — the FPGA backend next to
+// the standard-cell mapper (tech_mapper.hpp).
+//
+// A k-input LUT implements *any* function of up to k inputs, so no cell
+// library and no Boolean matching are involved: each priority cut IS a
+// match, its truth table (computed during enumeration, complemented AIG
+// edges already absorbed) IS the LUT configuration. That removes the
+// kMaxCellPins = 4 matching bound — LUT covers run at the full enumeration
+// width kMaxCutSize = 6, the `if -K 6` setting of the paper's baseline.
+//
+// The selection DP is the cell mapper's, specialized to the LUT cost
+// model: unit area and unit delay per LUT, so pass 1 is depth-optimal
+// (LUT levels, area flow breaking ties) and pass 2 recovers area under
+// per-node required depths. No phase bookkeeping is needed — a LUT
+// absorbs input and output polarity into its table — so only positive
+// polarities are computed; a complemented primary output duplicates its
+// root LUT with the negated table (or adds a 1-input inverter LUT when
+// the root is a primary input).
+//
+// The ChoiceAig overload maps choice-aware, exactly like the cell
+// mapper's: cut enumeration merges every ring member's cuts into its
+// representative (aig/cut.hpp) and the DP then picks the best cut across
+// all structural variants. On a ring-free annotation it is bit-identical
+// to the plain overload. Cut enumeration itself can run wave-parallel
+// (LutMapperParams::num_threads / an external ThreadPool) with
+// bit-identical results — see aig/cut.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/choice.hpp"
+#include "aig/cut.hpp"
+#include "aig/truth.hpp"
+
+namespace emorphic {
+
+class ThreadPool;
+
+/// Mapping effort knobs shared by every map_to_luts overload.
+struct LutMapperParams {
+  /// LUT input cap K; must lie in [2, kMaxCutSize] — one cut truth table
+  /// (a 64-bit word) is the whole LUT configuration, so the enumeration
+  /// bound is the backend bound. map_to_luts throws std::invalid_argument
+  /// outside this range, the same contract as map_to_cells.
+  unsigned lut_size = 6;
+  /// Priority cuts kept per node (plus the trivial cut).
+  unsigned num_cuts = 8;
+  /// Run the required-depth area-recovery pass after the depth-optimal
+  /// pass.
+  bool area_recovery = true;
+  /// Worker threads for the wave-parallel cut enumeration; <= 1 is serial.
+  /// Ignored when map_to_luts receives an external ThreadPool. Never
+  /// changes the mapped network, only its construction speed.
+  unsigned num_threads = 1;
+};
+
+/// One configured LUT: which nets feed it, and its truth table over them
+/// (bit m = output value when input i carries bit i of m).
+struct MappedLut {
+  std::vector<std::uint32_t> inputs;  // net ids, [0, tt inputs)
+  Tt tt = 0;                          // function over `inputs`
+  std::uint32_t output = 0;           // output net id
+};
+
+/// A combinational k-LUT netlist: the FPGA-flavored counterpart of
+/// MappedNetlist. Area is the LUT count, delay the LUT depth (both unit
+/// cost, the standard FPGA QoR proxies).
+class LutNetwork {
+ public:
+  /// Create a named net; returns its id.
+  std::uint32_t add_net(std::string name);
+  /// Append a LUT; returns its index in luts(). Inputs must be existing
+  /// nets (the mapper emits in topological order).
+  std::uint32_t add_lut(MappedLut lut);
+  /// Declare `net` a primary input.
+  void add_pi(std::uint32_t net) { pis_.push_back(net); }
+  /// Declare `net` a primary output named `name`.
+  void add_po(std::uint32_t net, std::string name);
+  /// Tie `net` to a constant (no driving LUT).
+  void set_const_net(std::uint32_t net, bool value);
+
+  /// All LUTs, in emission order (a LUT's inputs are driven by earlier
+  /// LUTs, PIs, or constant nets).
+  const std::vector<MappedLut>& luts() const { return luts_; }
+  /// Primary-input net ids, in interface order.
+  const std::vector<std::uint32_t>& pis() const { return pis_; }
+  /// Primary-output net ids, in interface order.
+  const std::vector<std::uint32_t>& pos() const { return pos_; }
+  /// Name of a net (as written to BLIF).
+  const std::string& net_name(std::uint32_t net) const {
+    return net_names_[net];
+  }
+  /// Number of nets (PIs, LUT outputs, and constants included).
+  std::size_t num_nets() const { return net_names_.size(); }
+  /// Number of LUTs.
+  std::size_t num_luts() const { return luts_.size(); }
+
+  /// Total area under the unit-cost model: the LUT count.
+  double area() const { return static_cast<double>(luts_.size()); }
+  /// LUT depth: the maximum number of LUTs on any PI-to-PO path.
+  std::uint32_t depth() const;
+  /// Per-net LUT levels (PIs and constants at level 0).
+  std::vector<std::uint32_t> levels() const;
+
+  /// Rebuild an AIG with the same function: each LUT contributes its truth
+  /// table as a factored SOP (the re-expression the stage-equivalence gate
+  /// proves against the mapper's input).
+  Aig to_aig() const;
+
+  /// BLIF dump (LUTs as .names cover tables).
+  std::string to_blif(const std::string& model_name) const;
+
+ private:
+  std::vector<MappedLut> luts_;
+  std::vector<std::string> net_names_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::string> po_names_;
+  std::vector<std::pair<std::uint32_t, bool>> const_nets_;
+};
+
+class LutWorkspace;
+
+namespace detail {
+/// The shared LUT-mapping kernel behind every map_to_luts overload: plain
+/// when `choices` is null, choice-aware otherwise. Not a stable API — call
+/// map_to_luts.
+LutNetwork map_luts_with_choices(const Aig& aig, const AigChoices* choices,
+                                 const LutMapperParams& params,
+                                 LutWorkspace* workspace, ThreadPool* pool);
+}  // namespace detail
+
+/// Reusable scratch for repeated map_to_luts calls: the per-node DP state,
+/// required depths, net ids, emission stack, and the cut arena. Not
+/// thread-safe: one workspace per thread.
+class LutWorkspace {
+ public:
+  LutWorkspace();
+  ~LutWorkspace();
+  LutWorkspace(LutWorkspace&&) noexcept;
+  LutWorkspace& operator=(LutWorkspace&&) noexcept;
+
+ private:
+  friend LutNetwork detail::map_luts_with_choices(const Aig& aig,
+                                                  const AigChoices* choices,
+                                                  const LutMapperParams& params,
+                                                  LutWorkspace* workspace,
+                                                  ThreadPool* pool);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Map an AIG onto k-input LUTs. Throws std::invalid_argument unless
+/// 2 <= params.lut_size <= kMaxCutSize.
+LutNetwork map_to_luts(const Aig& aig, const LutMapperParams& params = {},
+                       LutWorkspace* workspace = nullptr,
+                       ThreadPool* pool = nullptr);
+
+/// Choice-aware LUT mapping: select the best cut per node across every
+/// structural variant recorded in the choice annotation. The annotation
+/// must be finalized and fit the AIG. With no rings this is bit-identical
+/// to the plain overload.
+LutNetwork map_to_luts(const ChoiceAig& caig,
+                       const LutMapperParams& params = {},
+                       LutWorkspace* workspace = nullptr,
+                       ThreadPool* pool = nullptr);
+
+/// Convenience: {LUT count, LUT depth} of a mapped network.
+struct LutQor {
+  double area = 0.0;        // LUT count
+  std::uint32_t depth = 0;  // LUT levels
+};
+LutQor lut_qor(const LutNetwork& network);
+
+}  // namespace emorphic

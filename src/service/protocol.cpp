@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "aig/cut.hpp"
+
 namespace emorphic::service {
 
 namespace {
@@ -134,6 +136,18 @@ void apply_flow_params(FlowParams* params, const Json& overrides) {
       params->fraig_post = expect_bool(value, key);
     } else if (key == "use_choicemap") {
       params->use_choicemap = expect_bool(value, key);
+    } else if (key == "use_lutmap") {
+      params->use_lutmap = expect_bool(value, key);
+    } else if (key == "lut_size") {
+      unsigned k = expect_unsigned(value, key);
+      // Validated here so a bad request dies as a typed BAD_PARAMS at
+      // submit time instead of an internal error mid-flow; the range is
+      // map_to_luts' contract (mapper/lut_mapper.hpp).
+      if (k < 2 || k > kMaxCutSize) {
+        bad("field 'lut_size' must be in [2, " + std::to_string(kMaxCutSize) +
+            "]");
+      }
+      params->lut_size = k;
     } else if (key == "sa") {
       if (!value.is_object()) bad("'sa' must be an object");
       for (const auto& [skey, sval] : value.as_object()) {

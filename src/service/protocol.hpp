@@ -62,13 +62,18 @@ struct JobRequest {
 };
 
 /// Apply a params-override object onto `params`. Accepted keys:
-///   rounds, area_weight, verify, fraig_pre, fraig_post, use_choicemap
+///   rounds, area_weight, verify, fraig_pre, fraig_post, use_choicemap,
+///   use_lutmap, lut_size
 ///   sa:      {iterations, moves_per_iteration, num_threads,
 ///             initial_temperature}
 ///   rewrite: {max_iterations, max_enodes, time_limit_s, match_threads}
 ///   mapping: {cut_size, num_cuts, area_recovery}
-/// Throws std::invalid_argument on an unknown key or an ill-typed value,
+/// Throws std::invalid_argument on an unknown key, an ill-typed value, or
+/// an out-of-range lut_size (the LUT backend's [2, kMaxCutSize] contract),
 /// naming the offender — the server maps this to ErrorCode::kBadParams.
+/// Any accepted key lands in the params fingerprint via the overrides
+/// object itself, so e.g. a use_lutmap job can never alias a cell-mapped
+/// job in the flow-result cache.
 void apply_flow_params(FlowParams* params, const Json& overrides);
 
 /// Fingerprint of everything besides (input, seed) that shapes a job's

@@ -1,0 +1,193 @@
+// Determinism battery for wave-parallel cut enumeration (aig/cut.hpp):
+// the parallel pass must be *bit-identical* to the serial pass — same
+// cuts, same leaves, same truth tables, same order — for every thread
+// count, cut size, and input shape. The property holds by construction
+// (each node's cut list is a pure function of earlier-wave slots, and
+// every node writes only its own slot); these tests hold it to the
+// letter across:
+//   * thread counts {1, 2, 4, 8}, via CutParams::num_threads and via an
+//     external shared ThreadPool;
+//   * cut sizes {2..6};
+//   * plain AIGs (arith benchgen + randomized circuits over seeds) and
+//     choice-annotated AIGs (a hand-built ring and real rings exported
+//     from a rewritten e-graph);
+//   * arena reuse across repeated parallel enumerations.
+
+#include "aig/cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "aig/choice.hpp"
+#include "benchgen/arith.hpp"
+#include "egraph/rules.hpp"
+#include "egraph/runner.hpp"
+#include "flow/choice_export.hpp"
+#include "util/thread_pool.hpp"
+
+namespace emorphic {
+namespace {
+
+/// Strict equality of two enumerations over all `n` nodes: list lengths,
+/// and per-cut (size, leaves, tt) in order. Returns the first mismatch as
+/// text ("" = identical) so a failure names the node.
+std::string cuts_diff(const CutManager& lhs, const CutManager& rhs,
+                      std::size_t n) {
+  for (Var v = 0; v < n; ++v) {
+    const auto& a = lhs.cuts(v);
+    const auto& b = rhs.cuts(v);
+    if (a.size() != b.size()) {
+      return "node " + std::to_string(v) + ": " + std::to_string(a.size()) +
+             " vs " + std::to_string(b.size()) + " cuts";
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].size != b[i].size || a[i].tt != b[i].tt ||
+          a[i].leaves != b[i].leaves) {
+        return "node " + std::to_string(v) + ": cut " + std::to_string(i) +
+               " differs";
+      }
+    }
+  }
+  return "";
+}
+
+/// f = (a & b) & c with the a & (b & c) alternative ringed onto it.
+struct ChoiceFixture {
+  Aig aig;
+  AigChoices choices{0};
+};
+
+ChoiceFixture build_choice_fixture() {
+  ChoiceFixture f;
+  Var a = f.aig.add_pi("a");
+  Var b = f.aig.add_pi("b");
+  Var c = f.aig.add_pi("c");
+  Lit ab = f.aig.make_and(make_lit(a), make_lit(b));
+  Lit rep = f.aig.make_and(ab, make_lit(c));
+  Lit bc = f.aig.make_and(make_lit(b), make_lit(c));
+  Lit alt = f.aig.make_and(make_lit(a), bc);
+  f.aig.add_po(rep, "f");
+  f.choices = AigChoices(f.aig.num_nodes());
+  f.choices.add_member(lit_var(rep), lit_var(alt), false);
+  EXPECT_EQ(f.choices.finalize(f.aig), 0u);
+  EXPECT_EQ(f.choices.check(f.aig), "");
+  return f;
+}
+
+/// Real rings: rewrite the AIG's e-graph and export with SAT-verified
+/// alternatives (flow/choice_export.hpp).
+ChoiceAig exported_choices(const Aig& aig) {
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerParams params;
+  params.max_iterations = 3;
+  params.max_enodes = 20000;
+  params.max_matches_per_rule = 2000;
+  run_rewriting(ce.egraph, make_logic_rules(), params);
+  Extraction solution = greedy_extract(ce.egraph, CostModel{CostKind::kDepth});
+  ChoiceAig caig = egraph_to_choice_aig(ce, solution, {}, nullptr);
+  EXPECT_EQ(caig.choices.check(caig.aig), "");
+  return caig;
+}
+
+const unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+TEST(CutParallel, PlainBitIdenticalAcrossThreadsAndCutSizes) {
+  Aig circuits[] = {make_adder(6), make_multiplier(4)};
+  for (const Aig& aig : circuits) {
+    for (unsigned k = 2; k <= kMaxCutSize; ++k) {
+      CutManager serial(aig, CutParams{k, 8});
+      for (unsigned threads : kThreadCounts) {
+        CutManager parallel(aig, CutParams{k, 8, threads});
+        EXPECT_EQ(cuts_diff(serial, parallel, aig.num_nodes()), "")
+            << "k=" << k << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(CutParallel, RandomCircuitsOverSeeds) {
+  for (std::uint64_t seed : {3u, 17u, 91u, 222u}) {
+    Rng rng(seed);
+    Aig aig = testing::random_aig(8, 4, 150, rng);
+    for (unsigned k : {2u, 4u, 6u}) {
+      CutManager serial(aig, CutParams{k, 8});
+      for (unsigned threads : kThreadCounts) {
+        CutManager parallel(aig, CutParams{k, 8, threads});
+        EXPECT_EQ(cuts_diff(serial, parallel, aig.num_nodes()), "")
+            << "seed=" << seed << " k=" << k << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(CutParallel, ChoiceFixtureBitIdentical) {
+  ChoiceFixture f = build_choice_fixture();
+  for (unsigned k = 2; k <= kMaxCutSize; ++k) {
+    CutManager serial(f.aig, f.choices, CutParams{k, 8});
+    for (unsigned threads : kThreadCounts) {
+      CutManager parallel(f.aig, f.choices, CutParams{k, 8, threads});
+      EXPECT_EQ(cuts_diff(serial, parallel, f.aig.num_nodes()), "")
+          << "k=" << k << " threads=" << threads;
+    }
+  }
+}
+
+TEST(CutParallel, ExportedRingsBitIdentical) {
+  ChoiceAig caig = exported_choices(make_adder(6));
+  ASSERT_GT(caig.choices.num_rings(), 0u)
+      << "fixture must exercise real rings";
+  for (unsigned k : {4u, 6u}) {
+    CutManager serial(caig.aig, caig.choices, CutParams{k, 8});
+    for (unsigned threads : kThreadCounts) {
+      CutManager parallel(caig.aig, caig.choices, CutParams{k, 8, threads});
+      EXPECT_EQ(cuts_diff(serial, parallel, caig.aig.num_nodes()), "")
+          << "k=" << k << " threads=" << threads;
+    }
+  }
+}
+
+TEST(CutParallel, ExternalPoolMatchesOwnPool) {
+  // A shared pool must behave exactly like a per-call pool of the same
+  // size — and its size wins over params.num_threads.
+  Rng rng(12);
+  Aig aig = testing::random_aig(7, 3, 120, rng);
+  CutManager serial(aig, CutParams{6, 8});
+  ThreadPool pool(4);
+  CutParams params{6, 8};
+  params.num_threads = 1;  // ignored: the external pool's size wins
+  CutManager parallel(aig, params, nullptr, &pool);
+  EXPECT_EQ(cuts_diff(serial, parallel, aig.num_nodes()), "");
+
+  ChoiceAig caig = exported_choices(make_adder(5));
+  CutManager cserial(caig.aig, caig.choices, CutParams{6, 8});
+  CutManager cparallel(caig.aig, caig.choices, params, nullptr, &pool);
+  EXPECT_EQ(cuts_diff(cserial, cparallel, caig.aig.num_nodes()), "");
+}
+
+TEST(CutParallel, ArenaReuseAcrossEnumerations) {
+  // A caller-owned arena reused across parallel enumerations (the SA
+  // hot-path pattern) must not leak one circuit's schedule or scratch
+  // into the next circuit's cuts.
+  CutArena arena;
+  ThreadPool pool(4);
+  Rng rng(77);
+  for (int round = 0; round < 4; ++round) {
+    Aig aig = testing::random_aig(6 + round, 3, 60 + 30 * round, rng);
+    CutManager serial(aig, CutParams{5, 8});
+    CutManager parallel(aig, CutParams{5, 8}, &arena, &pool);
+    EXPECT_EQ(cuts_diff(serial, parallel, aig.num_nodes()), "")
+        << "round " << round;
+  }
+}
+
+TEST(CutParallel, NumThreadsIsNotAResultKnob) {
+  // Oversubscription far beyond the node count must still be identical
+  // (degenerate slices, empty chunks).
+  Aig aig = make_adder(3);
+  CutManager serial(aig, CutParams{4, 8});
+  CutManager wide(aig, CutParams{4, 8, 32});
+  EXPECT_EQ(cuts_diff(serial, wide, aig.num_nodes()), "");
+}
+
+}  // namespace
+}  // namespace emorphic

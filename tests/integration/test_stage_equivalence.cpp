@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,11 @@ std::map<std::string, Pipeline> stage_harnesses() {
     p.add("SaExtract");
     p.add("choicemap");  // exports + maps across the verified choice rings
     harness.emplace("choicemap", std::move(p));
+  }
+  {
+    Pipeline p;
+    p.add("lutmap");  // plain k-LUT cover of ctx.current
+    harness.emplace("lutmap", std::move(p));
   }
   return harness;
 }
@@ -158,6 +164,79 @@ TEST(StageEquivalence, ChoicemapNetlistIsEquivalentEndToEnd) {
                 CecStatus::kEquivalent)
           << "choicemap produced a non-equivalent netlist on '"
           << circuit_name << "' (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(StageEquivalence, LutmapNetlistIsEquivalentEndToEnd) {
+  // Same rationale as the choicemap netlist gate: lutmap's real product is
+  // the LUT cover, so the gate proves the cover itself — re-expressed as
+  // an AIG via LutNetwork::to_aig — equivalent to the pipeline input, on
+  // both the plain tail and the choice-aware tail.
+  FlowParams params = fast_params();
+  Pipeline plain;
+  plain.add("lutmap");
+
+  FlowParams choice_params = params;
+  choice_params.use_choicemap = true;  // routes lutmap through the rings
+  Pipeline choicy;
+  choicy.add("EgraphConversion");
+  choicy.add("Rewrite");
+  choicy.add("SaExtract");
+  choicy.add("lutmap");
+
+  for (auto& [circuit_name, aig] : gate_circuits()) {
+    for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7}}) {
+      for (bool choices : {false, true}) {
+        FlowContext ctx;
+        ctx.params = choices ? choice_params : params;
+        ctx.input = aig;
+        ctx.seed = seed;
+        FlowResult result = (choices ? choicy : plain).run(ctx);
+        ASSERT_TRUE(result.lut_netlist.has_value());
+        ASSERT_FALSE(result.netlist.has_value())
+            << "lutmap must not leave a stale cell netlist behind";
+        ASSERT_EQ(cec(aig, result.lut_netlist->to_aig()).status,
+                  CecStatus::kEquivalent)
+            << "lutmap produced a non-equivalent cover on '" << circuit_name
+            << "' (seed " << seed << ", choices=" << choices << ")";
+      }
+    }
+  }
+}
+
+TEST(StageEquivalence, LutmapRejectsInvalidLutSizeAtTheGate) {
+  // An unharnessed LUT size must fail loudly (std::invalid_argument from
+  // map_to_luts), never silently clamp into a wrong-width cover.
+  Pipeline p;
+  p.add("lutmap");
+  Aig aig = make_adder(4);
+  for (unsigned bad : {1u, 7u}) {
+    FlowParams params = fast_params();
+    params.lut_size = bad;
+    FlowContext ctx;
+    ctx.params = params;
+    ctx.input = aig;
+    EXPECT_THROW(p.run(ctx), std::invalid_argument) << "lut_size=" << bad;
+  }
+}
+
+TEST(StageEquivalence, LutmapPrebuiltFlowsStayEquivalent) {
+  // The use_lutmap wiring of the prebuilt flows: baseline and emorphic
+  // (with and without use_choicemap) must all end in an equivalent cover.
+  Aig aig = make_adder(5);
+  for (bool choicemap : {false, true}) {
+    FlowParams params = fast_params();
+    params.use_lutmap = true;
+    params.use_choicemap = choicemap;
+    for (const Pipeline& pipeline :
+         {Pipeline::baseline(params), Pipeline::emorphic(params)}) {
+      FlowResult result = pipeline.run(aig, params);
+      ASSERT_TRUE(result.lut_netlist.has_value());
+      ASSERT_EQ(cec(aig, result.lut_netlist->to_aig()).status,
+                CecStatus::kEquivalent)
+          << "use_choicemap=" << choicemap;
+      ASSERT_EQ(cec(aig, result.final_aig).status, CecStatus::kEquivalent);
     }
   }
 }

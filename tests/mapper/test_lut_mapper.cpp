@@ -1,0 +1,198 @@
+// The k-LUT mapping backend (mapper/lut_mapper.hpp):
+//   * every cover is CEC-proven against the mapper's input (the LUT
+//     network re-expressed as an AIG via to_aig) for k in {3..6};
+//   * QoR sanity: depth never increases with k, and any real LUT width
+//     beats the k = 2 cover on area;
+//   * choice-aware mapping of a ring-free annotation is bit-identical to
+//     the plain overload, and real rings (e-graph export) stay
+//     CEC-equivalent with the gated outcome never worse than plain;
+//   * lut_size outside [2, kMaxCutSize] throws std::invalid_argument on
+//     both overloads (the map_to_cells contract);
+//   * parallel cut enumeration never changes the mapped network;
+//   * interface edge cases: complemented / constant / pass-through POs,
+//     workspace reuse, BLIF shape.
+
+#include "mapper/lut_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "../test_helpers.hpp"
+#include "benchgen/arith.hpp"
+#include "cec/cec.hpp"
+#include "egraph/rules.hpp"
+#include "egraph/runner.hpp"
+#include "flow/choice_export.hpp"
+#include "util/thread_pool.hpp"
+
+namespace emorphic {
+namespace {
+
+bool equivalent(const Aig& input, const LutNetwork& network) {
+  return cec(input, network.to_aig()).status == CecStatus::kEquivalent;
+}
+
+/// Bit-identical network comparison: same nets, LUTs, tables, interface.
+void expect_same_network(const LutNetwork& a, const LutNetwork& b) {
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  ASSERT_EQ(a.num_luts(), b.num_luts());
+  for (std::size_t i = 0; i < a.num_luts(); ++i) {
+    EXPECT_EQ(a.luts()[i].inputs, b.luts()[i].inputs) << "lut " << i;
+    EXPECT_EQ(a.luts()[i].tt, b.luts()[i].tt) << "lut " << i;
+    EXPECT_EQ(a.luts()[i].output, b.luts()[i].output) << "lut " << i;
+  }
+  EXPECT_EQ(a.pis(), b.pis());
+  EXPECT_EQ(a.pos(), b.pos());
+  EXPECT_EQ(a.to_blif("m"), b.to_blif("m"));
+}
+
+TEST(LutMapper, SingleAnd) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  aig.add_po(aig.make_and(a, b));
+  LutNetwork network = map_to_luts(aig);
+  EXPECT_EQ(network.num_luts(), 1u);
+  EXPECT_EQ(network.depth(), 1u);
+  EXPECT_TRUE(equivalent(aig, network));
+}
+
+TEST(LutMapper, ComplementedOutputAbsorbedIntoTable) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  Lit b = make_lit(aig.add_pi());
+  aig.add_po(lit_not(aig.make_and(a, b)));  // NAND: still one LUT
+  LutNetwork network = map_to_luts(aig);
+  EXPECT_EQ(network.num_luts(), 1u);
+  EXPECT_TRUE(equivalent(aig, network));
+}
+
+TEST(LutMapper, PassThroughAndConstantOutputs) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi());
+  aig.add_po(a, "pass");
+  aig.add_po(lit_not(a), "neg");  // inverter on a PI: one 1-input LUT
+  aig.add_po(kLitTrue, "one");
+  aig.add_po(kLitFalse, "zero");
+  LutNetwork network = map_to_luts(aig);
+  EXPECT_TRUE(equivalent(aig, network));
+}
+
+TEST(LutMapper, EquivalentAcrossLutSizes) {
+  Rng rng(21);
+  Aig circuits[] = {make_adder(8), make_multiplier(4),
+                    testing::random_aig(7, 4, 90, rng)};
+  for (const Aig& aig : circuits) {
+    for (unsigned k = 3; k <= kMaxCutSize; ++k) {
+      LutMapperParams params;
+      params.lut_size = k;
+      LutNetwork network = map_to_luts(aig, params);
+      EXPECT_TRUE(equivalent(aig, network)) << "k=" << k;
+    }
+  }
+}
+
+TEST(LutMapper, QorSanityAcrossLutSizes) {
+  // Wider LUTs never deepen the cover (a k-feasible cut is (k+1)-feasible),
+  // and any real width beats the k = 2 cover on area. Area itself is NOT
+  // monotone in k — area flow is a heuristic and e.g. k = 5 can beat k = 6
+  // — so that is deliberately not asserted.
+  Aig aig = make_adder(8);
+  LutMapperParams p2;
+  p2.lut_size = 2;
+  const double area2 = lut_qor(map_to_luts(aig, p2)).area;
+  std::uint32_t prev_depth = 0xffffffffu;
+  for (unsigned k = 2; k <= kMaxCutSize; ++k) {
+    LutMapperParams params;
+    params.lut_size = k;
+    LutQor qor = lut_qor(map_to_luts(aig, params));
+    EXPECT_LE(qor.depth, prev_depth) << "k=" << k;
+    if (k >= 3) EXPECT_LT(qor.area, area2) << "k=" << k;
+    prev_depth = qor.depth;
+  }
+}
+
+TEST(LutMapper, RingFreeChoicesMatchPlainBitIdentically) {
+  Rng rng(33);
+  Aig aig = testing::random_aig(6, 3, 70, rng);
+  LutNetwork plain = map_to_luts(aig);
+  LutNetwork via_choices = map_to_luts(ChoiceAig::from_plain(aig));
+  expect_same_network(plain, via_choices);
+}
+
+TEST(LutMapper, ChoiceRingsStayEquivalentAndGatedNoWorse) {
+  Aig aig = make_adder(6);
+  CircuitEGraph ce = aig_to_egraph(aig);
+  RunnerParams rparams;
+  rparams.max_iterations = 3;
+  rparams.max_enodes = 20000;
+  rparams.max_matches_per_rule = 2000;
+  run_rewriting(ce.egraph, make_logic_rules(), rparams);
+  Extraction solution = greedy_extract(ce.egraph, CostModel{CostKind::kDepth});
+  ChoiceAig caig = egraph_to_choice_aig(ce, solution, {}, nullptr);
+  ASSERT_GT(caig.choices.num_rings(), 0u);
+
+  LutNetwork choice = map_to_luts(caig);
+  EXPECT_TRUE(equivalent(aig, choice));
+
+  LutChoiceOutcome outcome = map_luts_with_choices_gated(caig);
+  EXPECT_TRUE(equivalent(aig, outcome.network));
+  LutQor adopted = lut_qor(outcome.network);
+  EXPECT_LE(adopted.area, outcome.plain.area);
+  EXPECT_LE(adopted.depth, outcome.plain.depth);
+}
+
+TEST(LutMapper, InvalidLutSizeThrowsOnBothOverloads) {
+  Aig aig = make_adder(3);
+  ChoiceAig caig = ChoiceAig::from_plain(aig);
+  for (unsigned bad : {0u, 1u, kMaxCutSize + 1}) {
+    LutMapperParams params;
+    params.lut_size = bad;
+    EXPECT_THROW(map_to_luts(aig, params), std::invalid_argument)
+        << "lut_size=" << bad;
+    EXPECT_THROW(map_to_luts(caig, params), std::invalid_argument)
+        << "lut_size=" << bad;
+  }
+}
+
+TEST(LutMapper, ParallelEnumerationNeverChangesTheNetwork) {
+  Rng rng(44);
+  Aig aig = testing::random_aig(8, 4, 160, rng);
+  LutNetwork serial = map_to_luts(aig);
+  LutMapperParams params;
+  params.num_threads = 4;
+  LutNetwork parallel = map_to_luts(aig, params);
+  expect_same_network(serial, parallel);
+
+  ThreadPool pool(4);
+  LutNetwork pooled = map_to_luts(aig, LutMapperParams{}, nullptr, &pool);
+  expect_same_network(serial, pooled);
+}
+
+TEST(LutMapper, WorkspaceReuseAcrossCalls) {
+  LutWorkspace workspace;
+  Rng rng(55);
+  for (int round = 0; round < 3; ++round) {
+    Aig aig = testing::random_aig(6 + round, 3, 50 + 25 * round, rng);
+    LutNetwork fresh = map_to_luts(aig);
+    LutNetwork reused = map_to_luts(aig, LutMapperParams{}, &workspace);
+    expect_same_network(fresh, reused);
+  }
+}
+
+TEST(LutMapper, BlifShape) {
+  Aig aig;
+  Lit a = make_lit(aig.add_pi("a"));
+  Lit b = make_lit(aig.add_pi("b"));
+  aig.add_po(aig.make_and(a, lit_not(b)), "f");
+  LutNetwork network = map_to_luts(aig);
+  std::string blif = network.to_blif("andnot");
+  EXPECT_NE(blif.find(".model andnot"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs a b"), std::string::npos);
+  EXPECT_NE(blif.find(".names"), std::string::npos);
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emorphic

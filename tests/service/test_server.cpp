@@ -120,6 +120,83 @@ TEST(SynthServer, CompletesAJobAndServesRepeatsFromCache) {
   EXPECT_EQ(fx.server->stats().result_cache_hits, 1u);
 }
 
+TEST(SynthServer, LutmapParamsSelectTheLutBackendWithItsOwnCacheKey) {
+  // The lutmap knobs travel the whole protocol path: per-request overrides
+  // rebuild the flow around the LUT backend, and the overrides object is
+  // part of the cache fingerprint, so a LUT-mapped job can never alias a
+  // cell-mapped job in the warm cache.
+  ServerFixture fx;
+  SynthClient client = fx.connect();
+
+  // Cell-mapped baseline primes the cache.
+  ASSERT_EQ(client.submit(adder_request("cell-1")).at("type").as_string(),
+            "accepted");
+  Json cell = client.await("cell-1");
+  ASSERT_EQ(cell.at("type").as_string(), "result");
+  EXPECT_FALSE(cell.at("cache_hit").as_bool());
+
+  // Same circuit + seed through the LUT backend: distinct key, no alias.
+  JobRequest lut = adder_request("lut-1");
+  lut.params["use_lutmap"] = true;
+  lut.params["lut_size"] = 4;
+  ASSERT_EQ(client.submit(lut).at("type").as_string(), "accepted");
+  Json lut_result = client.await("lut-1");
+  ASSERT_EQ(lut_result.at("type").as_string(), "result");
+  EXPECT_FALSE(lut_result.at("cache_hit").as_bool());
+  // Unit-cost QoR: area is the LUT count, delay the LUT depth.
+  EXPECT_GT(lut_result.at("qor").at("area").as_number(), 0.0);
+  EXPECT_GT(lut_result.at("qor").at("delay").as_number(), 0.0);
+
+  // An identical lutmap submission is a cache hit.
+  JobRequest repeat = adder_request("lut-2");
+  repeat.params["use_lutmap"] = true;
+  repeat.params["lut_size"] = 4;
+  ASSERT_EQ(client.submit(repeat).at("type").as_string(), "accepted");
+  Json cached = client.await("lut-2");
+  ASSERT_EQ(cached.at("type").as_string(), "result");
+  EXPECT_TRUE(cached.at("cache_hit").as_bool());
+  EXPECT_EQ(cached.at("qor").at("area").as_number(),
+            lut_result.at("qor").at("area").as_number());
+
+  // A different K is again its own cache entry.
+  JobRequest other_k = adder_request("lut-3");
+  other_k.params["use_lutmap"] = true;
+  other_k.params["lut_size"] = 6;
+  ASSERT_EQ(client.submit(other_k).at("type").as_string(), "accepted");
+  EXPECT_FALSE(client.await("lut-3").at("cache_hit").as_bool());
+
+  EXPECT_EQ(fx.server->stats().result_cache_hits, 1u);
+}
+
+TEST(SynthServer, LutmapParamAbuseGetsTypedBadParams) {
+  ServerFixture fx;
+  SynthClient client = fx.connect();
+
+  // lut_size outside the backend's [2, kMaxCutSize] contract — rejected at
+  // submit time, before any flow runs.
+  for (int bad : {1, 9}) {
+    JobRequest req = adder_request("bad-k-" + std::to_string(bad));
+    req.params["use_lutmap"] = true;
+    req.params["lut_size"] = bad;
+    EXPECT_EQ(client.submit(req).at("code").as_string(), "BAD_PARAMS")
+        << "lut_size=" << bad;
+  }
+
+  // Ill-typed values die the same way.
+  JobRequest bad_bool = adder_request("bad-bool");
+  bad_bool.params["use_lutmap"] = "yes";
+  EXPECT_EQ(client.submit(bad_bool).at("code").as_string(), "BAD_PARAMS");
+  JobRequest bad_num = adder_request("bad-num");
+  bad_num.params["lut_size"] = "six";
+  EXPECT_EQ(client.submit(bad_num).at("code").as_string(), "BAD_PARAMS");
+
+  // The server still serves real lutmap work afterwards.
+  JobRequest ok = adder_request("ok");
+  ok.params["use_lutmap"] = true;
+  ASSERT_EQ(client.submit(ok).at("type").as_string(), "accepted");
+  EXPECT_EQ(client.await("ok").at("type").as_string(), "result");
+}
+
 TEST(SynthServer, StreamsProgressEvents) {
   ServerFixture fx;
   SynthClient client = fx.connect();
