@@ -31,6 +31,8 @@ int usage(const char* argv0) {
                "  --workers N     worker threads (default 2)\n"
                "  --queue N       admission queue capacity (default 16)\n"
                "  --fast          laptop-scale flow parameters (CI/demo)\n"
+               "  --paranoia      deep-validate every structure at each stage\n"
+               "                  boundary (see docs/correctness.md)\n"
                "  --no-cache      disable the flow-result cache layer\n"
                "  --print-port    print the bound TCP port on stdout\n",
                argv0);
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
       config.base_params.sa.iterations = 2;
       config.base_params.sa.moves_per_iteration = 2;
       config.base_params.sa.num_threads = 2;
+    } else if (std::strcmp(arg, "--paranoia") == 0) {
+      config.base_params.paranoia = true;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       config.cache_results = false;
     } else if (std::strcmp(arg, "--print-port") == 0) {

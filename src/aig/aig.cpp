@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/validators.hpp"
 
 namespace emorphic {
 
@@ -22,7 +26,9 @@ Var Aig::add_pi(std::string name) {
 }
 
 std::uint32_t Aig::add_po(Lit lit, std::string name) {
-  assert(lit_var(lit) < nodes_.size());
+  EM_ASSERT(lit_var(lit) < nodes_.size(),
+            "add_po: literal over dead variable " +
+                std::to_string(lit_var(lit)));
   std::uint32_t index = static_cast<std::uint32_t>(pos_.size());
   pos_.push_back(lit);
   if (name.empty()) name = "po" + std::to_string(index);
@@ -31,7 +37,9 @@ std::uint32_t Aig::add_po(Lit lit, std::string name) {
 }
 
 Lit Aig::make_and(Lit a, Lit b) {
-  assert(lit_var(a) < nodes_.size() && lit_var(b) < nodes_.size());
+  EM_ASSERT(lit_var(a) < nodes_.size() && lit_var(b) < nodes_.size(),
+            "make_and: fanin literal over dead variable " +
+                std::to_string(std::max(lit_var(a), lit_var(b))));
   // Constant propagation.
   if (a == kLitFalse || b == kLitFalse) return kLitFalse;
   if (a == kLitTrue) return b;
@@ -158,11 +166,15 @@ Aig Aig::cleanup() const {
     Lit po = pos_[i];
     out.set_po(i, lit_notcond(map[lit_var(po)], lit_is_compl(po)));
   }
+  EM_CHECK_EXPENSIVE(check::check_aig(out));
   return out;
 }
 
 Aig Aig::substitute(const std::vector<Lit>& replacement) const {
-  assert(replacement.size() == nodes_.size());
+  EM_ASSERT(replacement.size() == nodes_.size(),
+            "substitute: replacement map covers " +
+                std::to_string(replacement.size()) + " of " +
+                std::to_string(nodes_.size()) + " variables");
   Aig out = Aig::like(*this);
   // old variable -> literal in `out`, with replacements resolved. A forward
   // pass suffices: replacement literals point at smaller variables, whose
@@ -174,7 +186,9 @@ Aig Aig::substitute(const std::vector<Lit>& replacement) const {
   };
   for (Var v = 1; v < nodes_.size(); ++v) {
     if (replacement[v] != make_lit(v)) {
-      assert(lit_var(replacement[v]) < v);
+      EM_ASSERT(lit_var(replacement[v]) < v,
+                "substitute: replacement for variable " + std::to_string(v) +
+                    " aims at a larger variable (cycle)");
       map[v] = translate(replacement[v]);
       continue;
     }

@@ -22,6 +22,10 @@ namespace emorphic {
 using Var = std::uint32_t;
 using Lit = std::uint32_t;
 
+namespace check {
+struct CheckProbe;  // corruption-seeding seam for validator tests
+}  // namespace check
+
 inline constexpr Lit kLitFalse = 0;
 inline constexpr Lit kLitTrue = 1;
 
@@ -145,6 +149,8 @@ class Aig {
   static Aig like(const Aig& proto);
 
  private:
+  friend struct check::CheckProbe;
+
   struct Node {
     NodeType type = NodeType::kConst0;
     Lit fanin0 = 0;  // for kPi: index into pis_

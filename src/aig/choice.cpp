@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
+#include <string>
+
+#include "check/check.hpp"
 
 namespace emorphic {
 
@@ -21,6 +24,7 @@ const std::vector<Var>& AigChoices::ring(Var rep) const {
 
 std::size_t AigChoices::num_alts() const {
   std::size_t total = 0;
+  // lint:allow(unordered-iteration) order-independent sum
   for (const auto& [rep, members] : rings_) total += members.size();
   return total;
 }
@@ -58,6 +62,10 @@ std::size_t AigChoices::finalize(const Aig& aig) {
     out[f1].push_back(v);
     ++indegree[v];
   }
+  // Every variable is a member of at most one ring, so each out[m] receives
+  // at most one rep edge: edge lists and indegrees come out identical
+  // whatever order the rings are visited in.
+  // lint:allow(unordered-iteration) at most one edge per member, order-free
   for (const auto& [rep, members] : rings_) {
     for (Var m : members) {
       out[m].push_back(rep);
@@ -84,6 +92,7 @@ std::size_t AigChoices::finalize(const Aig& aig) {
       // unsticks a schedule, because the fanin relation is a DAG.
       bool progressed = false;
       std::vector<Var> stuck_reps;
+      // lint:allow(unordered-iteration) collected set is sorted just below
       for (const auto& [rep, members] : rings_) {
         if (!scheduled[rep]) stuck_reps.push_back(rep);
       }
@@ -128,41 +137,64 @@ std::size_t AigChoices::finalize(const Aig& aig) {
       if (--indegree[w] == 0 && !scheduled[w]) ready.push(w);
     }
   }
+  EM_CHECK_EXPENSIVE(check(aig));
   return dropped;
 }
 
 std::string AigChoices::check(const Aig& aig) const {
   const std::size_t n = aig.num_nodes();
-  if (repr_.size() != n) return "repr size does not match the AIG";
+  auto var_str = [](Var v) { return std::to_string(v); };
+  if (repr_.size() != n) {
+    return "repr covers " + std::to_string(repr_.size()) +
+           " variables but the AIG has " + std::to_string(n);
+  }
   std::vector<std::uint8_t> role(n, 0);  // 0 plain, 1 rep, 2 alt
+  // lint:allow(unordered-iteration) per-variable slot writes; error-path only
   for (const auto& [rep, members] : rings_) {
-    if (rep >= n) return "ring representative out of range";
-    if (members.empty()) return "empty ring stored";
-    if (role[rep] != 0) return "variable plays two ring roles";
+    if (rep >= n) return "ring representative " + var_str(rep) + " out of range";
+    if (members.empty()) return "representative " + var_str(rep) + ": empty ring stored";
+    if (role[rep] != 0) {
+      return "variable " + var_str(rep) + " plays two ring roles";
+    }
     role[rep] = 1;
   }
+  // lint:allow(unordered-iteration) per-variable slot writes; error-path only
   for (const auto& [rep, members] : rings_) {
     for (Var m : members) {
-      if (m >= n) return "ring member out of range";
-      if (role[m] != 0) return "variable plays two ring roles";
+      if (m >= n) {
+        return "ring member " + var_str(m) + " (representative " +
+               var_str(rep) + ") out of range";
+      }
+      if (role[m] != 0) {
+        return "variable " + var_str(m) + " plays two ring roles";
+      }
       role[m] = 2;
       if (lit_var(repr_[m]) != rep) {
-        return "ring member's repr literal does not aim at its ring";
+        return "ring member " + var_str(m) + ": repr literal aims at variable " +
+               var_str(lit_var(repr_[m])) + ", not its representative " +
+               var_str(rep);
       }
     }
   }
   for (Var v = 0; v < n; ++v) {
     if (role[v] == 2) continue;
     if (repr_[v] != make_lit(v)) {
-      return "non-member variable with a non-identity repr literal";
+      return "non-member variable " + var_str(v) +
+             " with a non-identity repr literal";
     }
   }
-  if (order_.size() != n) return "order is not a permutation (wrong size)";
+  if (order_.size() != n) {
+    return "order schedules " + std::to_string(order_.size()) + " of " +
+           std::to_string(n) + " variables (not a permutation)";
+  }
   std::vector<std::uint32_t> pos(n, 0);
   std::vector<std::uint8_t> seen(n, 0);
   for (std::uint32_t i = 0; i < order_.size(); ++i) {
     Var v = order_[i];
-    if (v >= n || seen[v]) return "order is not a permutation";
+    if (v >= n || seen[v]) {
+      return "order slot " + std::to_string(i) +
+             " repeats or overruns with variable " + var_str(v);
+    }
     seen[v] = 1;
     pos[v] = i;
   }
@@ -170,12 +202,16 @@ std::string AigChoices::check(const Aig& aig) const {
     if (!aig.is_and(v)) continue;
     if (pos[lit_var(aig.fanin0(v))] >= pos[v] ||
         pos[lit_var(aig.fanin1(v))] >= pos[v]) {
-      return "order violates a fanin edge";
+      return "order schedules node " + var_str(v) + " before a fanin";
     }
   }
+  // lint:allow(unordered-iteration) error-path only, on corrupt annotations
   for (const auto& [rep, members] : rings_) {
     for (Var m : members) {
-      if (pos[m] >= pos[rep]) return "order violates a ring edge";
+      if (pos[m] >= pos[rep]) {
+        return "order schedules representative " + var_str(rep) +
+               " before its ring member " + var_str(m);
+      }
     }
   }
   return "";

@@ -35,6 +35,10 @@
 
 namespace emorphic {
 
+namespace check {
+struct CheckProbe;  // corruption-seeding seam for validator tests
+}  // namespace check
+
 /// Choice annotation over the variables of one Aig. Default-constructed (or
 /// sized with no members added) it is the trivial annotation: every
 /// variable represents itself and choice-aware consumers behave exactly
@@ -103,6 +107,8 @@ class AigChoices {
   std::string check(const Aig& aig) const;
 
  private:
+  friend struct check::CheckProbe;
+
   std::vector<Lit> repr_;                          // per var; make_lit(v) if plain
   std::unordered_map<Var, std::vector<Var>> rings_;  // rep -> alternatives
   std::vector<Var> order_;                         // see order()

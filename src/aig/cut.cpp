@@ -6,6 +6,8 @@
 #include <string>
 
 #include "aig/choice.hpp"
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "util/thread_pool.hpp"
 
 namespace emorphic {
@@ -80,6 +82,7 @@ CutManager::CutManager(const Aig& aig, const AigChoices* choices,
   } else {
     enumerate_parallel(pool);
   }
+  EM_CHECK_EXPENSIVE(check::check_cuts(*this));
 }
 
 void CutManager::process_node(Var v, std::vector<Cut>& scratch) {

@@ -37,6 +37,10 @@ namespace emorphic {
 class AigChoices;
 class ThreadPool;
 
+namespace check {
+struct CheckProbe;  // corruption-seeding seam for validator tests
+}  // namespace check
+
 /// Hard upper bound on cut width: the truth table of a cut function must
 /// fit one 64-bit word (2^6 minterms). This is the *enumeration* limit —
 /// SOP balancing runs at the full K = 6; standard-cell matching is further
@@ -121,8 +125,13 @@ class CutManager {
 
   const Aig& aig() const { return aig_; }
   const CutParams& params() const { return params_; }
+  /// The choice annotation enumeration merged across, or null for the plain
+  /// pass (check::check_cuts keys its per-node invariants off this).
+  const AigChoices* choices() const { return choices_; }
 
  private:
+  friend struct check::CheckProbe;
+
   CutManager(const Aig& aig, const AigChoices* choices,
              const CutParams& params, CutArena* arena, ThreadPool* pool);
 

@@ -1,0 +1,10 @@
+#include "check/check.hpp"
+
+namespace emorphic::check {
+
+void fail(const char* file, int line, const std::string& what) {
+  throw CheckError(std::string(file) + ":" + std::to_string(line) +
+                   ": invariant violated: " + what);
+}
+
+}  // namespace emorphic::check

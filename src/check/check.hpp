@@ -1,0 +1,70 @@
+#pragma once
+// Tiered invariant checking — the correctness layer under every core
+// structure (docs/correctness.md).
+//
+// Two tiers, mirroring egg's debug_assert layers and ABC's network checkers:
+//
+//  * EM_ASSERT(cond, msg) — cheap, O(1)-ish preconditions on mutation paths.
+//    Compiled in whenever NDEBUG is off (any Debug build) or the
+//    EMORPHIC_CHECKS CMake option is on. Throws CheckError instead of
+//    aborting, so a daemon survives a poisoned request and tests can assert
+//    on the message.
+//
+//  * EM_CHECK_EXPENSIVE(expr) — full-structure validation at the points
+//    where invariants are restored (e-graph rebuild, choice finalize, cut
+//    enumeration, AIG rebuilds, LUT emission). `expr` must evaluate to a
+//    std::string that is empty when the structure is consistent (the
+//    validator convention of check/validators.hpp). Compiled only under
+//    EMORPHIC_CHECKS: e-graph corruption manifests many passes downstream,
+//    so the sanitizer/check CI matrix runs with it on while release builds
+//    pay nothing.
+//
+// Orthogonally, FlowParams::paranoia re-validates every structure at stage
+// boundaries at *runtime* in any build — the validators are always compiled,
+// only the internal call sites above are gated.
+
+#include <stdexcept>
+#include <string>
+
+namespace emorphic::check {
+
+/// A structural invariant broke: the offending structure and node/class are
+/// named in what(). Thrown by EM_ASSERT / EM_CHECK_EXPENSIVE failures and by
+/// the pipeline's paranoia validation.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throw a CheckError for a failed check at file:line.
+[[noreturn]] void fail(const char* file, int line, const std::string& what);
+
+}  // namespace emorphic::check
+
+#ifndef EMORPHIC_ENABLE_ASSERTS
+#if defined(EMORPHIC_CHECKS) || !defined(NDEBUG)
+#define EMORPHIC_ENABLE_ASSERTS 1
+#else
+#define EMORPHIC_ENABLE_ASSERTS 0
+#endif
+#endif
+
+#if EMORPHIC_ENABLE_ASSERTS
+#define EM_ASSERT(cond, msg)                                           \
+  do {                                                                 \
+    if (!(cond)) ::emorphic::check::fail(__FILE__, __LINE__, (msg));   \
+  } while (false)
+#else
+#define EM_ASSERT(cond, msg) ((void)0)
+#endif
+
+#ifdef EMORPHIC_CHECKS
+#define EM_CHECK_EXPENSIVE(expr)                                       \
+  do {                                                                 \
+    std::string em_check_why_ = (expr);                                \
+    if (!em_check_why_.empty())                                        \
+      ::emorphic::check::fail(__FILE__, __LINE__, em_check_why_);      \
+  } while (false)
+#else
+#define EM_CHECK_EXPENSIVE(expr) ((void)0)
+#endif

@@ -1,0 +1,72 @@
+#pragma once
+// CheckProbe: the deliberate backdoor into the core structures' private
+// state, used ONLY to seed corruption in tests/check/test_validators.cpp so
+// every validator of check/validators.hpp can be shown to actually catch the
+// defect class it guards against. The public APIs are (by design) unable to
+// produce a cyclic AIG, a stale hashcons entry, or an unsorted cut list —
+// without this seam the validators' failure paths would be dead code to the
+// test suite.
+//
+// Never include this header from src/ outside the check subsystem.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/choice.hpp"
+#include "aig/cut.hpp"
+#include "egraph/egraph.hpp"
+#include "mapper/lut_mapper.hpp"
+
+namespace emorphic::check {
+
+struct CheckProbe {
+  // --- Aig -----------------------------------------------------------------
+  /// Overwrite an AND node's fanin literals, bypassing strashing and the
+  /// topological-order guarantee (the only way to plant a cycle).
+  static void set_and_fanins(Aig& aig, Var v, Lit f0, Lit f1) {
+    aig.nodes_[v].fanin0 = f0;
+    aig.nodes_[v].fanin1 = f1;
+  }
+  static std::unordered_map<std::uint64_t, Var>& strash(Aig& aig) {
+    return aig.strash_;
+  }
+  static std::uint32_t& num_ands(Aig& aig) { return aig.num_ands_; }
+
+  // --- EGraph --------------------------------------------------------------
+  static HashCons& hashcons(EGraph& egraph) { return egraph.hashcons_; }
+  static std::vector<EClassId>& union_find(EGraph& egraph) {
+    return egraph.parent_;
+  }
+  static SmallVec<ENode, 2>& class_nodes(EGraph& egraph, EClassId id) {
+    return egraph.classes_[id].nodes;
+  }
+
+  // --- AigChoices ----------------------------------------------------------
+  static std::vector<Lit>& repr(AigChoices& choices) { return choices.repr_; }
+  static std::unordered_map<Var, std::vector<Var>>& rings(
+      AigChoices& choices) {
+    return choices.rings_;
+  }
+  static std::vector<Var>& order(AigChoices& choices) {
+    return choices.order_;
+  }
+
+  // --- CutManager ----------------------------------------------------------
+  static std::vector<Cut>& cuts(CutManager& cuts, Var v) {
+    return cuts.arena_->slots[v];
+  }
+
+  // --- LutNetwork ----------------------------------------------------------
+  static std::vector<MappedLut>& luts(LutNetwork& network) {
+    return network.luts_;
+  }
+  static std::vector<std::pair<std::uint32_t, bool>>& const_nets(
+      LutNetwork& network) {
+    return network.const_nets_;
+  }
+};
+
+}  // namespace emorphic::check

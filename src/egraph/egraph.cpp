@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "check/check.hpp"
+
 namespace emorphic {
 
 EClassId EGraph::find_mut(EClassId id) {
@@ -207,7 +209,29 @@ std::size_t EGraph::rebuild() {
       dedup_nodes(classes_[id]);
     }
     sweeplist_.clear();
+    // Purge stranded hash-cons keys. repair() erases an entry only when the
+    // merged child's parent list still records that exact key — but a key
+    // re-inserted by an earlier repair is known to that one class only, so
+    // a later merge of a *different* child of the same e-node strands it.
+    // Stranded keys hold a non-root child id, which no canonicalized lookup
+    // can produce, so they are unreachable — but without this sweep they
+    // accumulate without bound across a long saturation run. Collect first,
+    // erase after: HashCons iteration does not survive mutation.
+    std::vector<ENode> stranded;
+    hashcons_.for_each([&](const ENode& node, EClassId) {
+      for (unsigned i = 0; i < node.arity(); ++i) {
+        if (find(node.children[i]) != node.children[i]) {
+          stranded.push_back(node);
+          break;
+        }
+      }
+    });
+    for (const ENode& node : stranded) hashcons_.erase(node);
   }
+  EM_CHECK_EXPENSIVE([&] {
+    std::string why;
+    return check_invariants(&why) ? std::string() : why;
+  }());
   return merges;
 }
 
@@ -266,6 +290,22 @@ bool EGraph::check_invariants(std::string* why) const {
     if (parent_[parent_[id]] != parent_[id]) {
       return fail("union-find not compressed at id " + std::to_string(id));
     }
+  }
+  // 5. The hashcons must be an exact bijection with the live e-nodes: check
+  // 3 covered missing entries, this covers *stale* ones — an interned
+  // e-node no live class holds anymore. Counts suffice to detect (every
+  // live node is interned by 3, duplicates are impossible by 2), and the
+  // sweep only runs to name the offender.
+  if (hashcons_.size() != seen.size()) {
+    std::string stale = "hashcons holds " + std::to_string(hashcons_.size()) +
+                        " entries for " + std::to_string(seen.size()) +
+                        " live e-nodes";
+    hashcons_.for_each([&](const ENode& node, EClassId cls) {
+      if (seen.count(node) == 0) {
+        stale += "; stale entry aims at class " + std::to_string(cls);
+      }
+    });
+    return fail(stale);
   }
   return true;
 }

@@ -29,6 +29,10 @@
 
 namespace emorphic {
 
+namespace check {
+struct CheckProbe;  // corruption-seeding seam for validator tests
+}  // namespace check
+
 /// Back-edge from a child class to an e-node that references it.
 /// `node` is the parent e-node as it was last canonicalized; `cls` is the
 /// class that e-node belongs to.
@@ -123,6 +127,8 @@ class EGraph {
   bool check_invariants(std::string* why = nullptr) const;
 
  private:
+  friend struct check::CheckProbe;
+
   EClassId make_class(ENode node);
   /// Path-halving find; used on the mutating paths where writes are safe.
   EClassId find_mut(EClassId id);

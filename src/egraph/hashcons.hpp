@@ -87,6 +87,16 @@ class HashCons {
     if (!inserted) *slot = cls;
   }
 
+  /// Visit every live entry as fn(const ENode&, EClassId), in slot order.
+  /// The slot order is an implementation detail — callers must not let it
+  /// reach any output ordering (the invariant checker only aggregates).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] == kFull) fn(keys_[i], vals_[i]);
+    }
+  }
+
   /// Remove `node` if present (tombstones the slot).
   void erase(const ENode& node) {
     if (slots() == 0) return;

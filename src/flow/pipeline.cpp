@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "egraph/rules.hpp"
 
 namespace emorphic {
@@ -407,6 +409,26 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
   ctx.stop_signal.store(FlowStopReason::kNone, std::memory_order_relaxed);
   if (ctx.observer != nullptr) ctx.observer->on_flow_begin(ctx);
 
+  // Paranoia mode: deep-validate every live structure at each stage
+  // boundary, in any build. A corrupt structure then fails at the stage
+  // that produced it instead of passes later, with the violation named.
+  auto validate = [&ctx](const std::string& boundary) {
+    if (!ctx.params.paranoia) return;
+    auto require = [&boundary](std::string why, const char* structure) {
+      if (why.empty()) return;
+      throw check::CheckError("paranoia: " + boundary + ": " + structure +
+                              ": " + std::move(why));
+    };
+    require(check::check_aig(ctx.current), "working AIG");
+    if (ctx.egraph.has_value()) {
+      require(check::check_egraph(ctx.egraph->egraph), "e-graph");
+    }
+    if (ctx.lut_netlist.has_value()) {
+      require(check::check_lut_network(*ctx.lut_netlist), "LUT network");
+    }
+  };
+  validate("flow input");
+
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     if (ctx.should_stop()) {
       ctx.stopped_early = true;
@@ -421,6 +443,7 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
     if (ctx.observer != nullptr) {
       ctx.observer->on_stage_end(stage, telemetry, ctx);
     }
+    validate("after stage " + std::string(stage.name()));
   }
 
   // FlowQor::seconds is the optimization time: every stage except the

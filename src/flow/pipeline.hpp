@@ -128,6 +128,13 @@ struct FlowParams {
   /// — the stage (via map_to_luts) throws std::invalid_argument outside
   /// that range, and the service rejects it as BAD_PARAMS at submit time.
   unsigned lut_size = 6;
+  /// Paranoia mode: re-validate every live structure (working AIG, e-graph,
+  /// LUT network) with the deep validators of check/validators.hpp at every
+  /// stage boundary — at *runtime*, in any build, unlike the
+  /// EMORPHIC_CHECKS-gated internal call sites. A violation aborts the flow
+  /// with a check::CheckError naming the stage and the offending
+  /// node/class. Costs one full structure walk per stage; off by default.
+  bool paranoia = false;
 };
 
 /// Quality-of-result summary of a finished flow.

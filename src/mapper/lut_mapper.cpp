@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "check/validators.hpp"
 #include "opt/sop.hpp"
 #include "util/thread_pool.hpp"
 
@@ -466,6 +468,7 @@ LutNetwork map_luts_with_choices(const Aig& aig, const AigChoices* choices,
     }
     out.add_po(po_net, aig.po_name(i));
   }
+  EM_CHECK_EXPENSIVE(check::check_lut_network(out));
   return out;
 }
 

@@ -40,6 +40,10 @@ namespace emorphic {
 
 class ThreadPool;
 
+namespace check {
+struct CheckProbe;  // corruption-seeding seam for validator tests
+}  // namespace check
+
 /// Mapping effort knobs shared by every map_to_luts overload.
 struct LutMapperParams {
   /// LUT input cap K; must lie in [2, kMaxCutSize] — one cut truth table
@@ -96,6 +100,10 @@ class LutNetwork {
   }
   /// Number of nets (PIs, LUT outputs, and constants included).
   std::size_t num_nets() const { return net_names_.size(); }
+  /// Constant-tied nets and their values, in declaration order.
+  const std::vector<std::pair<std::uint32_t, bool>>& const_nets() const {
+    return const_nets_;
+  }
   /// Number of LUTs.
   std::size_t num_luts() const { return luts_.size(); }
 
@@ -115,6 +123,8 @@ class LutNetwork {
   std::string to_blif(const std::string& model_name) const;
 
  private:
+  friend struct check::CheckProbe;
+
   std::vector<MappedLut> luts_;
   std::vector<std::string> net_names_;
   std::vector<std::uint32_t> pis_;

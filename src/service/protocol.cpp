@@ -148,6 +148,10 @@ void apply_flow_params(FlowParams* params, const Json& overrides) {
             "]");
       }
       params->lut_size = k;
+    } else if (key == "paranoia") {
+      // Stage-boundary deep validation (FlowParams::paranoia): a client can
+      // turn it on per job, e.g. when reducing a miscompare.
+      params->paranoia = expect_bool(value, key);
     } else if (key == "sa") {
       if (!value.is_object()) bad("'sa' must be an object");
       for (const auto& [skey, sval] : value.as_object()) {

@@ -74,6 +74,33 @@ TEST(EGraphCore, RepeatedMergeRoundsStayCanonical) {
   }
 }
 
+// Regression: merging one child of an e-node, rebuilding, then merging a
+// *different* child used to strand the intermediate hash-cons key — repair
+// re-inserted AND(a', b) under the new key but only class a' learned it, so
+// the later merge of b could not erase it. The stranded key was unreachable
+// (it held a non-root child id) but leaked, and broke the hashcons ↔
+// live-e-node bijection that check_invariants now enforces.
+TEST(EGraphCore, RebuildPurgesStrandedHashconsKeys) {
+  EGraph eg;
+  EClassId a = eg.add_var(0);
+  EClassId b = eg.add_var(1);
+  EClassId a2 = eg.add_var(2);
+  EClassId b2 = eg.add_var(3);
+  eg.add_and(a, b);
+
+  // Round 1: merge child a — repair re-keys AND(a, b) to AND(a', b).
+  eg.merge(a, a2);
+  eg.rebuild();
+  // Round 2: merge child b — the round-1 key must not be stranded.
+  eg.merge(b, b2);
+  eg.rebuild();
+
+  std::string why;
+  EXPECT_TRUE(eg.check_invariants(&why)) << why;
+  EXPECT_EQ(eg.lookup(ENode::and_of(eg.find(a), eg.find(b))),
+            eg.find(eg.lookup(ENode::and_of(eg.find(a), eg.find(b)))));
+}
+
 // --- the flat hashcons -------------------------------------------------------
 
 TEST(EGraphCore, HashConsInsertFindErase) {
