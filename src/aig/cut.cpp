@@ -61,10 +61,11 @@ CutManager::CutManager(const Aig& aig, const AigChoices* choices,
         "CutManager: choice annotation does not fit the AIG (missing "
         "finalize()?)");
   }
-  // Recycle the arena's vectors: grow if needed, clear (keeping capacity)
-  // the slots this AIG will use.
+  // Recycle the arena: grow the header vector if needed, then start a new
+  // epoch — every header is dropped and the element stores rewind keeping
+  // their blocks, so a warmed-up arena enumerates without a single malloc.
   if (arena_->slots.size() < n) arena_->slots.resize(n);
-  for (std::size_t v = 0; v < n; ++v) arena_->slots[v].clear();
+  arena_->reset_epoch();
   arena_->levels.assign(n, 0);
   for (Var v = 1; v < aig_.num_nodes(); ++v) {
     if (!aig_.is_and(v)) continue;
@@ -73,7 +74,7 @@ CutManager::CutManager(const Aig& aig, const AigChoices* choices,
   }
 
   // Constant node: a single empty cut whose function is constant 0.
-  arena_->slots[0].push_back(Cut{});
+  arena_->store.push_back(arena_->slots[0], Cut{});
 
   const std::size_t threads =
       pool != nullptr ? pool->size() : params_.num_threads;
@@ -85,18 +86,21 @@ CutManager::CutManager(const Aig& aig, const AigChoices* choices,
   EM_CHECK_EXPENSIVE(check::check_cuts(*this));
 }
 
-void CutManager::process_node(Var v, std::vector<Cut>& scratch) {
+void CutManager::process_node(Var v, std::vector<Cut>& scratch,
+                              SpanStore<Cut>& store) {
   if (v == 0) return;
   if (aig_.is_pi(v)) {
     Cut trivial;
     trivial.size = 1;
     trivial.leaves[0] = v;
     trivial.tt = tt_var(0, 1);
-    arena_->slots[v].push_back(trivial);
+    store.push_back(arena_->slots[v], trivial);
     return;
   }
-  compute(v, scratch);
-  if (choices_ != nullptr && choices_->has_ring(v)) merge_choice_cuts(v);
+  compute(v, scratch, store);
+  if (choices_ != nullptr && choices_->has_ring(v)) {
+    merge_choice_cuts(v, store);
+  }
 }
 
 void CutManager::enumerate_serial() {
@@ -105,10 +109,12 @@ void CutManager::enumerate_serial() {
   // than its representative — so the traversal follows the annotation's
   // schedule (members before representative) instead of index order.
   if (choices_ != nullptr) {
-    for (Var v : choices_->order()) process_node(v, arena_->scratch);
+    for (Var v : choices_->order()) {
+      process_node(v, arena_->scratch, arena_->store);
+    }
   } else {
     for (Var v = 1; v < aig_.num_nodes(); ++v) {
-      process_node(v, arena_->scratch);
+      process_node(v, arena_->scratch, arena_->store);
     }
   }
 }
@@ -144,7 +150,7 @@ void CutManager::enumerate_parallel(ThreadPool* external_pool) {
   auto bucket_node = [&](Var v) {
     if (v == 0) return;
     if (aig_.is_pi(v)) {
-      process_node(v, arena_->scratch);
+      process_node(v, arena_->scratch, arena_->store);
       return;
     }
     std::uint32_t w = wave_of(v);
@@ -167,28 +173,39 @@ void CutManager::enumerate_parallel(ThreadPool* external_pool) {
   if (arena_->worker_scratch.size() < workers) {
     arena_->worker_scratch.resize(workers);
   }
+  if (arena_->worker_stores.size() < workers) {
+    arena_->worker_stores.resize(workers);
+  }
 
   for (std::uint32_t w = 0; w < num_waves; ++w) {
     const std::vector<Var>& nodes = buckets[w];
     if (nodes.empty()) continue;
     if (nodes.size() < kMinParallelWave) {
-      for (Var v : nodes) process_node(v, arena_->scratch);
+      for (Var v : nodes) process_node(v, arena_->scratch, arena_->store);
       continue;
     }
     const std::size_t chunks = std::min(workers, nodes.size());
     pool.parallel_for(chunks, [&](std::size_t ci) {
       const std::size_t lo = nodes.size() * ci / chunks;
       const std::size_t hi = nodes.size() * (ci + 1) / chunks;
+      // Per-worker scratch AND per-worker span store: each chunk allocates
+      // cut storage from its own bump arena, so no bump pointer is shared
+      // across threads. Slot headers are written once, by the one worker
+      // that owns the node.
       std::vector<Cut>& scratch = arena_->worker_scratch[ci];
+      SpanStore<Cut>& store = arena_->worker_stores[ci];
       for (std::size_t i = lo; i < hi; ++i) {
-        process_node(nodes[i], scratch);
+        process_node(nodes[i], scratch, store);
       }
     });
   }
 }
 
-void CutManager::merge_choice_cuts(Var rep) {
-  std::vector<Cut>& slot = arena_->slots[rep];
+void CutManager::merge_choice_cuts(Var rep, SpanStore<Cut>& store) {
+  ArenaSpan<Cut>& slot = arena_->slots[rep];
+  // One up-front reservation bounds the list at its 2*num_cuts+1 maximum,
+  // so the pushes below never grow (and thus never retire arena storage).
+  store.reserve(slot, slot.size() + params_.num_cuts);
   // The plain list ends with the trivial cut; member cuts slot in before it
   // so the "trivial cut last" contract survives merging.
   Cut trivial = slot.back();
@@ -219,11 +236,11 @@ void CutManager::merge_choice_cuts(Var rep) {
       Cut adjusted = member_cut;
       if (phase) adjusted.tt = tt_not(adjusted.tt, adjusted.size);
       if (already_present(adjusted)) continue;
-      slot.push_back(adjusted);
+      store.push_back(slot, adjusted);
       --budget;
     }
   }
-  slot.push_back(trivial);
+  store.push_back(slot, trivial);
 }
 
 bool CutManager::merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b,
@@ -266,7 +283,8 @@ bool CutManager::merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b,
   return true;
 }
 
-void CutManager::compute(Var v, std::vector<Cut>& scratch) {
+void CutManager::compute(Var v, std::vector<Cut>& scratch,
+                         SpanStore<Cut>& store) {
   const Lit f0 = aig_.fanin0(v);
   const Lit f1 = aig_.fanin1(v);
   const auto& cuts0 = arena_->slots[lit_var(f0)];
@@ -319,8 +337,9 @@ void CutManager::compute(Var v, std::vector<Cut>& scratch) {
   trivial.tt = tt_var(0, 1);
   result.push_back(trivial);
 
-  // Copy-assign into the slot: keeps the slot's capacity across arena reuse.
-  arena_->slots[v].assign(result.begin(), result.end());
+  // Copy into the node's span (exact-fit arena allocation; the scratch
+  // vector never aliases arena storage).
+  store.assign(arena_->slots[v], result.data(), result.data() + result.size());
 }
 
 }  // namespace emorphic

@@ -31,6 +31,7 @@
 
 #include "aig/aig.hpp"
 #include "aig/truth.hpp"
+#include "util/arena.hpp"
 
 namespace emorphic {
 
@@ -71,11 +72,21 @@ struct CutParams {
 
 /// Reusable cut storage. Hot paths (the SA cost evaluator) construct one
 /// CutManager per candidate AIG; routing them through a caller-owned arena
-/// keeps the per-node vectors' capacity alive across candidates so repeated
-/// enumerations stop churning the allocator. Not thread-safe: one arena per
-/// thread.
+/// keeps the storage alive across candidates so repeated enumerations stop
+/// churning the allocator. Per-node cut lists are ArenaSpan headers whose
+/// elements live in bump-arena SpanStores: every enumeration is one arena
+/// epoch (the stores rewind wholesale at construction), so a warmed-up
+/// arena re-enumerates with zero mallocs. Not thread-safe across
+/// CutManagers: one arena per concurrently-live manager.
 struct CutArena {
-  std::vector<std::vector<Cut>> slots;   // per-node cut lists
+  std::vector<ArenaSpan<Cut>> slots;     // per-node cut lists (headers)
+  /// Element storage for the serial pass (and PI/constant seeding).
+  SpanStore<Cut> store;
+  /// Per-worker element stores for the wave-parallel pass: each worker
+  /// allocates spans only from its own store, so the bump pointers are
+  /// race-free. The chunking is deterministic, so after warm-up every
+  /// store's epoch is the same size and no store mallocs.
+  std::vector<SpanStore<Cut>> worker_stores;
   std::vector<Cut> scratch;              // merge workspace for one node
   std::vector<std::uint32_t> levels;     // cut priority ordering
   /// Per-worker merge workspaces for the wave-parallel pass (one per pool
@@ -85,6 +96,14 @@ struct CutArena {
   /// the nodes of each wave, bucketed in traversal order.
   std::vector<std::uint32_t> waves;
   std::vector<std::vector<Var>> wave_nodes;
+
+  /// Start a new enumeration epoch: drop every span header and rewind the
+  /// stores, keeping all capacity.
+  void reset_epoch() {
+    for (ArenaSpan<Cut>& s : slots) s = ArenaSpan<Cut>{};
+    store.reset();
+    for (SpanStore<Cut>& ws : worker_stores) ws.reset();
+  }
 };
 
 /// Enumerates priority cuts bottom-up for every node of an AIG.
@@ -121,7 +140,7 @@ class CutManager {
   /// first (in their plain priority order, so choice-free behavior is
   /// bit-identical to the plain constructor), then up to `num_cuts`
   /// deduplicated member cuts.
-  const std::vector<Cut>& cuts(Var v) const { return arena_->slots[v]; }
+  const ArenaSpan<Cut>& cuts(Var v) const { return arena_->slots[v]; }
 
   const Aig& aig() const { return aig_; }
   const CutParams& params() const { return params_; }
@@ -135,11 +154,11 @@ class CutManager {
   CutManager(const Aig& aig, const AigChoices* choices,
              const CutParams& params, CutArena* arena, ThreadPool* pool);
 
-  void process_node(Var v, std::vector<Cut>& scratch);
+  void process_node(Var v, std::vector<Cut>& scratch, SpanStore<Cut>& store);
   void enumerate_serial();
   void enumerate_parallel(ThreadPool* pool);
-  void compute(Var v, std::vector<Cut>& scratch);
-  void merge_choice_cuts(Var rep);
+  void compute(Var v, std::vector<Cut>& scratch, SpanStore<Cut>& store);
+  void merge_choice_cuts(Var rep, SpanStore<Cut>& store);
   bool merge(const Cut& a, const Cut& b, bool compl_a, bool compl_b, Cut& out) const;
 
   const Aig& aig_;

@@ -40,8 +40,8 @@ struct CheckProbe {
   static std::vector<EClassId>& union_find(EGraph& egraph) {
     return egraph.parent_;
   }
-  static SmallVec<ENode, 2>& class_nodes(EGraph& egraph, EClassId id) {
-    return egraph.classes_[id].nodes;
+  static ArenaSpan<ENode>& class_nodes(EGraph& egraph, EClassId id) {
+    return egraph.class_nodes_[id];
   }
 
   // --- AigChoices ----------------------------------------------------------
@@ -55,8 +55,18 @@ struct CheckProbe {
   }
 
   // --- CutManager ----------------------------------------------------------
-  static std::vector<Cut>& cuts(CutManager& cuts, Var v) {
+  static ArenaSpan<Cut>& cuts(CutManager& cuts, Var v) {
     return cuts.arena_->slots[v];
+  }
+  /// Prepend a copy of node `v`'s first cut (seeds the duplicate-cut defect
+  /// the old vector-backed test planted with list.insert; spans grow only
+  /// through their store, hence the dedicated seam).
+  static void duplicate_front_cut(CutManager& cuts, Var v) {
+    ArenaSpan<Cut>& slot = cuts.arena_->slots[v];
+    cuts.arena_->store.push_back(slot, slot[0]);
+    for (std::size_t i = slot.size() - 1; i > 0; --i) {
+      std::swap(slot[i], slot[i - 1]);
+    }
   }
 
   // --- LutNetwork ----------------------------------------------------------

@@ -171,7 +171,7 @@ std::string check_cuts(const CutManager& cuts) {
                                                   : 1u << (aig.num_pis() - 6);
   const std::vector<std::vector<Tt>> value = simulate(aig, num_words, exhaustive);
   for (Var v = 0; v < n; ++v) {
-    const std::vector<Cut>& list = cuts.cuts(v);
+    const auto& list = cuts.cuts(v);
     if (v == 0) {
       // The constant node carries the single empty cut (function const-0).
       if (list.size() != 1 || list[0].size != 0 || list[0].tt != 0) {

@@ -41,12 +41,25 @@ ENode EGraph::canonicalize(ENode node) const {
   return node;
 }
 
+void EGraph::clear() {
+  parent_.clear();
+  rank_.clear();
+  class_nodes_.clear();
+  class_parents_.clear();
+  node_store_.reset();
+  parent_store_.reset();
+  hashcons_.clear();
+  worklist_.clear();
+  sweeplist_.clear();
+}
+
 EClassId EGraph::make_class(ENode node) {
-  EClassId id = static_cast<EClassId>(classes_.size());
+  EClassId id = static_cast<EClassId>(class_nodes_.size());
   parent_.push_back(id);
   rank_.push_back(0);
-  classes_.emplace_back();
-  classes_[id].nodes.push_back(node);
+  class_nodes_.emplace_back();
+  class_parents_.emplace_back();
+  node_store_.push_back(class_nodes_[id], node);
   return id;
 }
 
@@ -57,12 +70,12 @@ EClassId EGraph::add(ENode node) {
     node.children[i] = find_mut(node.children[i]);
   }
   sort_commutative_children(node);
-  EClassId prospective = static_cast<EClassId>(classes_.size());
+  EClassId prospective = static_cast<EClassId>(class_nodes_.size());
   auto [slot, inserted] = hashcons_.try_emplace(node, prospective);
   if (!inserted) return find_mut(*slot);
   EClassId id = make_class(node);
   for (unsigned i = 0; i < node.arity(); ++i) {
-    classes_[node.children[i]].parents.push_back({node, id});
+    parent_store_.push_back(class_parents_[node.children[i]], {node, id});
   }
   return id;
 }
@@ -82,14 +95,14 @@ EClassId EGraph::merge(EClassId a, EClassId b) {
   if (rank_[a] == rank_[b]) ++rank_[a];
   parent_[b] = a;
 
-  EClass& wa = classes_[a];
-  EClass& wb = classes_[b];
-  wa.nodes.append(wb.nodes.begin(), wb.nodes.end());
-  wa.parents.append(wb.parents.begin(), wb.parents.end());
-  wb.nodes.clear();
-  wb.nodes.shrink_to_fit();
-  wb.parents.clear();
-  wb.parents.shrink_to_fit();
+  // Arena regions never move, so appending from the loser's span is safe
+  // even when the winner's span grows mid-append (the source stays put).
+  node_store_.append(class_nodes_[a], class_nodes_[b].begin(),
+                     class_nodes_[b].end());
+  parent_store_.append(class_parents_[a], class_parents_[b].begin(),
+                       class_parents_[b].end());
+  node_store_.release(class_nodes_[b]);
+  parent_store_.release(class_parents_[b]);
 
   worklist_.push_back(a);
   return a;
@@ -97,90 +110,100 @@ EClassId EGraph::merge(EClassId a, EClassId b) {
 
 void EGraph::repair(EClassId id) {
   id = find_mut(id);
-  EClass& cls = classes_[id];
 
   // Re-canonicalize parents: hashcons entries keyed on stale child ids are
   // replaced, and congruent parents (now structurally identical) merged.
-  SmallVec<ParentEdge, 2> old_parents = std::move(cls.parents);
+  // The parent list is copied into member scratch (capacity reused across
+  // calls) because the merges below may relocate/release this very span.
+  repair_old_.assign(class_parents_[id].begin(), class_parents_[id].end());
+  parent_store_.release(class_parents_[id]);
 
-  // `seen` maps each canonical parent e-node to its slot in `dedup` (the
-  // surviving parent list); HashCons doubles as the scratch table.
-  HashCons seen;
-  seen.reserve(old_parents.size());
-  std::vector<ParentEdge> dedup;
-  dedup.reserve(old_parents.size());
-  for (const ParentEdge& edge : old_parents) {
+  // `repair_seen_` maps each canonical parent e-node to its slot in
+  // `repair_dedup_` (the surviving parent list); HashCons doubles as the
+  // scratch table, cleared in place so its slots are reused call to call.
+  repair_seen_.clear();
+  repair_seen_.reserve(repair_old_.size());
+  repair_dedup_.clear();
+  for (const ParentEdge& edge : repair_old_) {
     hashcons_.erase(edge.node);  // erase under old key (no-op if already gone)
     ENode canon = canonicalize(edge.node);
     EClassId pcanon = find_mut(edge.cls);
-    auto [slot, inserted] =
-        seen.try_emplace(canon, static_cast<EClassId>(dedup.size()));
+    auto [slot, inserted] = repair_seen_.try_emplace(
+        canon, static_cast<EClassId>(repair_dedup_.size()));
     if (inserted) {
-      dedup.push_back({canon, pcanon});
+      repair_dedup_.push_back({canon, pcanon});
     } else {
       // Congruence: two parents became identical -> their classes merge.
-      EClassId merged = merge(dedup[*slot].cls, pcanon);
-      dedup[*slot].cls = find_mut(merged);
+      EClassId merged = merge(repair_dedup_[*slot].cls, pcanon);
+      repair_dedup_[*slot].cls = find_mut(merged);
     }
   }
-  EClass& cls2 = classes_[find_mut(id)];
-  for (const ParentEdge& edge : dedup) {
+  ArenaSpan<ParentEdge>& parents = class_parents_[find_mut(id)];
+  for (const ParentEdge& edge : repair_dedup_) {
     EClassId pc = find_mut(edge.cls);
     hashcons_.insert(edge.node, pc);
-    cls2.parents.push_back({edge.node, pc});
+    parent_store_.push_back(parents, {edge.node, pc});
     // The parent e-node's stored copy (in class `pc`'s node list) may still
     // hold the pre-merge child id; queue that class for the rebuild sweep.
     sweeplist_.push_back(pc);
   }
 
   // Deduplicate the node list under canonical children.
-  dedup_nodes(classes_[find_mut(id)]);
+  dedup_nodes(find_mut(id));
 }
 
-void EGraph::dedup_nodes(EClass& cls) {
+void EGraph::dedup_nodes(EClassId root) {
   // Identical canonical copies can only appear via re-pointed child ids
   // (hash-consing rules out duplicates among already-canonical nodes), so a
   // class whose nodes are all canonical needs no work.
+  ArenaSpan<ENode>& nodes = class_nodes_[root];
   bool stale = false;
-  for (const ENode& n : cls.nodes) {
+  for (const ENode& n : nodes) {
     if (!(canonicalize(n) == n)) {
       stale = true;
       break;
     }
   }
   if (!stale) return;
-  SmallVec<ENode, 2> deduped;
-  deduped.reserve(cls.nodes.size());
-  if (cls.nodes.size() <= 16) {
+  dedup_scratch_.clear();
+  if (nodes.size() <= 16) {
     // Small class: a quadratic scan beats hashing.
-    for (const ENode& n : cls.nodes) {
+    for (const ENode& n : nodes) {
       ENode canon = canonicalize(n);
       bool dup = false;
-      for (const ENode& kept : deduped) {
+      for (const ENode& kept : dedup_scratch_) {
         if (kept == canon) {
           dup = true;
           break;
         }
       }
-      if (!dup) deduped.push_back(canon);
+      if (!dup) dedup_scratch_.push_back(canon);
     }
   } else {
-    HashCons uniq;
-    uniq.reserve(cls.nodes.size());
-    for (const ENode& n : cls.nodes) {
+    dedup_uniq_.clear();
+    dedup_uniq_.reserve(nodes.size());
+    for (const ENode& n : nodes) {
       ENode canon = canonicalize(n);
-      if (uniq.try_emplace(canon, 0).second) deduped.push_back(canon);
+      if (dedup_uniq_.try_emplace(canon, 0).second) {
+        dedup_scratch_.push_back(canon);
+      }
     }
   }
-  cls.nodes = std::move(deduped);
+  node_store_.assign(nodes, dedup_scratch_.data(),
+                     dedup_scratch_.data() + dedup_scratch_.size());
 }
 
 std::size_t EGraph::rebuild() {
   std::size_t merges = 0;
   bool repaired_any = !worklist_.empty();
   while (!worklist_.empty()) {
-    std::vector<EClassId> todo;
-    todo.swap(worklist_);
+    // Swap through member scratch (not a local) so both buffers stay warm
+    // across passes and rebuilds — the swap-with-a-local idiom donates the
+    // worklist's capacity to a vector that dies at the end of the pass,
+    // forcing the next pass to regrow from zero.
+    rebuild_todo_.clear();
+    rebuild_todo_.swap(worklist_);
+    std::vector<EClassId>& todo = rebuild_todo_;
     for (EClassId& id : todo) id = find_mut(id);
     std::sort(todo.begin(), todo.end());
     todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
@@ -206,7 +229,7 @@ std::size_t EGraph::rebuild() {
     sweeplist_.erase(std::unique(sweeplist_.begin(), sweeplist_.end()),
                      sweeplist_.end());
     for (EClassId id : sweeplist_) {
-      dedup_nodes(classes_[id]);
+      dedup_nodes(id);
     }
     sweeplist_.clear();
     // Purge stranded hash-cons keys. repair() erases an entry only when the
@@ -215,18 +238,29 @@ std::size_t EGraph::rebuild() {
     // a later merge of a *different* child of the same e-node strands it.
     // Stranded keys hold a non-root child id, which no canonicalized lookup
     // can produce, so they are unreachable — but without this sweep they
-    // accumulate without bound across a long saturation run. Collect first,
-    // erase after: HashCons iteration does not survive mutation.
-    std::vector<ENode> stranded;
+    // accumulate without bound across a long saturation run. Collect first
+    // (into member scratch, capacity reused), erase after: HashCons
+    // iteration does not survive mutation.
+    stranded_.clear();
     hashcons_.for_each([&](const ENode& node, EClassId) {
       for (unsigned i = 0; i < node.arity(); ++i) {
         if (find(node.children[i]) != node.children[i]) {
-          stranded.push_back(node);
+          stranded_.push_back(node);
           break;
         }
       }
     });
-    for (const ENode& node : stranded) hashcons_.erase(node);
+    for (const ENode& node : stranded_) hashcons_.erase(node);
+    // Epoch reclaim: merges and repairs retire arena regions (grown spans,
+    // released losers). Once the waste outweighs the live data, copy the
+    // live spans into a fresh arena — rebuild() is the one point where no
+    // outstanding span pointers exist outside the headers rewritten here.
+    if (node_store_.waste() > node_store_.live()) {
+      node_store_.compact(class_nodes_);
+    }
+    if (parent_store_.waste() > parent_store_.live()) {
+      parent_store_.compact(class_parents_);
+    }
   }
   EM_CHECK_EXPENSIVE([&] {
     std::string why;
@@ -237,7 +271,7 @@ std::size_t EGraph::rebuild() {
 
 std::size_t EGraph::num_classes() const {
   std::size_t count = 0;
-  for (EClassId id = 0; id < classes_.size(); ++id) {
+  for (EClassId id = 0; id < class_nodes_.size(); ++id) {
     if (find(id) == id) ++count;
   }
   return count;
@@ -245,8 +279,8 @@ std::size_t EGraph::num_classes() const {
 
 std::size_t EGraph::num_enodes() const {
   std::size_t count = 0;
-  for (EClassId id = 0; id < classes_.size(); ++id) {
-    if (find(id) == id) count += classes_[id].nodes.size();
+  for (EClassId id = 0; id < class_nodes_.size(); ++id) {
+    if (find(id) == id) count += class_nodes_[id].size();
   }
   return count;
 }
@@ -259,9 +293,9 @@ bool EGraph::check_invariants(std::string* why) const {
   if (is_dirty()) return fail("e-graph has pending merges (not rebuilt)");
 
   std::unordered_map<ENode, EClassId, ENodeHash> seen;
-  for (EClassId id = 0; id < classes_.size(); ++id) {
+  for (EClassId id = 0; id < class_nodes_.size(); ++id) {
     if (find(id) != id) continue;  // non-root: contents were moved out
-    for (const ENode& n : classes_[id].nodes) {
+    for (const ENode& n : class_nodes_[id]) {
       ENode canon = canonicalize(n);
       // 1. Stored nodes must already be canonical.
       if (!(canon == n)) {
@@ -312,8 +346,8 @@ bool EGraph::check_invariants(std::string* why) const {
 
 std::vector<EClassId> EGraph::class_ids() const {
   std::vector<EClassId> ids;
-  ids.reserve(classes_.size());
-  for (EClassId id = 0; id < classes_.size(); ++id) {
+  ids.reserve(class_nodes_.size());
+  for (EClassId id = 0; id < class_nodes_.size(); ++id) {
     if (find(id) == id) ids.push_back(id);
   }
   return ids;

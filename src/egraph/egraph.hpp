@@ -10,8 +10,13 @@
 // Performance notes (see docs/egraph-internals.md for the full story):
 //  - E-nodes are interned in a flat open-addressing table (HashCons) instead
 //    of std::unordered_map: probing walks contiguous arrays, not heap nodes.
-//  - Class member lists are small-vectors (SmallVec): the common one-node
-//    class costs no heap allocation.
+//  - Class member/parent lists are struct-of-arrays: dense vectors of
+//    ArenaSpan headers indexed by class id, with the element storage in two
+//    SpanStore bump arenas. Growing a class bumps an arena pointer instead
+//    of calling malloc, and rebuild() reclaims the waste merges leave
+//    behind by compacting the arenas (epoch reclaim) — so a warmed-up
+//    saturation loop runs allocation-free (bench/micro_alloc.cpp holds
+//    this via exit code).
 //  - The union-find uses path halving, and rebuild() finishes with a full
 //    compression pass so that on a *clean* e-graph every parent pointer aims
 //    directly at its root. find() on a clean graph is therefore one load and
@@ -25,7 +30,7 @@
 
 #include "egraph/hashcons.hpp"
 #include "egraph/language.hpp"
-#include "util/small_vec.hpp"
+#include "util/arena.hpp"
 
 namespace emorphic {
 
@@ -41,13 +46,17 @@ struct ParentEdge {
   EClassId cls = kNoEClass;
 };
 
-/// One equivalence class: the e-nodes it contains plus parent back-edges
-/// used for congruence repair.
+/// One equivalence class, as a *view* into the e-graph's struct-of-arrays
+/// storage: the e-nodes it contains plus parent back-edges used for
+/// congruence repair. Returned by value from EGraph::eclass(); the
+/// reference members alias the e-graph's persistent span headers, so
+/// `const auto& nodes = egraph.eclass(c).nodes;` stays valid for as long
+/// as the underlying storage does (i.e. until the next mutation).
 struct EClass {
   /// Member e-nodes, canonical and duplicate-free on a clean e-graph.
-  SmallVec<ENode, 2> nodes;
+  const ArenaSpan<ENode>& nodes;
   /// Parent back-edges consumed by EGraph::rebuild's congruence repair.
-  SmallVec<ParentEdge, 2> parents;
+  const ArenaSpan<ParentEdge>& parents;
 };
 
 /// A congruence-closed e-graph over the Boolean language of language.hpp.
@@ -60,9 +69,22 @@ class EGraph {
  public:
   EGraph() = default;
 
+  // Move-only: the arena-backed span stores own raw storage that the span
+  // headers point into; moving transfers the arenas wholesale (addresses
+  // are stable), but a copy would need a deep re-layout nothing requires.
+  EGraph(EGraph&&) noexcept = default;
+  EGraph& operator=(EGraph&&) noexcept = default;
+  EGraph(const EGraph&) = delete;
+  EGraph& operator=(const EGraph&) = delete;
+
   /// Add an e-node (children must be existing class ids); returns its class.
   /// Hash-consing makes this idempotent.
   EClassId add(ENode node);
+
+  /// Forget everything, keep every allocation (arena blocks, hashcons
+  /// table, vector capacities) — the reuse path for running many
+  /// saturations through one e-graph without allocator churn.
+  void clear();
 
   // Convenience builders.
   EClassId add_const0() { return add(ENode::const0()); }
@@ -95,7 +117,10 @@ class EGraph {
   bool is_root(EClassId id) const { return find(id) == id; }
 
   /// The class `id` currently belongs to (follows the union-find).
-  const EClass& eclass(EClassId id) const { return classes_[find(id)]; }
+  EClass eclass(EClassId id) const {
+    EClassId root = find(id);
+    return EClass{class_nodes_[root], class_parents_[root]};
+  }
 
   /// Look up an e-node; returns kNoEClass when absent. Children are
   /// canonicalized first. Valid only when the e-graph is clean (rebuilt).
@@ -104,7 +129,7 @@ class EGraph {
   /// Total number of e-classes ever created (== e-nodes ever added, since
   /// every add() that misses the hash-cons creates exactly one class with
   /// one node). O(1) upper bound on num_enodes(), used for growth limits.
-  std::size_t num_classes_created() const { return classes_.size(); }
+  std::size_t num_classes_created() const { return class_nodes_.size(); }
 
   /// Total number of live (canonical) e-classes.
   std::size_t num_classes() const;
@@ -134,14 +159,29 @@ class EGraph {
   EClassId find_mut(EClassId id);
   void repair(EClassId id);
   /// Re-canonicalize and deduplicate one class's node list.
-  void dedup_nodes(EClass& cls);
+  void dedup_nodes(EClassId root);
 
   std::vector<EClassId> parent_;        // union-find (compressed when clean)
   std::vector<std::uint32_t> rank_;
-  std::vector<EClass> classes_;         // dense, indexed by id; only roots live
+  // Struct-of-arrays class storage: span headers dense by class id (only
+  // roots hold live spans), elements in the two bump-arena stores below.
+  std::vector<ArenaSpan<ENode>> class_nodes_;
+  std::vector<ArenaSpan<ParentEdge>> class_parents_;
+  SpanStore<ENode> node_store_;
+  SpanStore<ParentEdge> parent_store_;
   HashCons hashcons_;                   // canonical e-node -> class id
   std::vector<EClassId> worklist_;      // classes needing congruence repair
   std::vector<EClassId> sweeplist_;     // parent classes possibly left stale
+  // Reused scratch for repair()/dedup_nodes(): cleared (capacity kept)
+  // instead of reallocated per call, so congruence repair stops being the
+  // dominant allocation site of a saturation run.
+  HashCons repair_seen_;
+  std::vector<ParentEdge> repair_old_;
+  std::vector<ParentEdge> repair_dedup_;
+  HashCons dedup_uniq_;
+  std::vector<ENode> dedup_scratch_;
+  std::vector<EClassId> rebuild_todo_;  // rebuild(): worklist double-buffer
+  std::vector<ENode> stranded_;         // rebuild(): stranded-key sweep
 };
 
 }  // namespace emorphic

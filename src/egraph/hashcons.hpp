@@ -11,6 +11,7 @@
 // repair re-keys a parent e-node) leaves a tombstone; tombstones are
 // reclaimed wholesale by the periodic rehash that growth triggers anyway.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -29,12 +30,29 @@ class HashCons {
   /// Number of live (non-tombstone) entries.
   std::size_t size() const { return size_; }
 
-  /// Pre-size the table for about `n` live entries.
+  /// Pre-size the table so that inserting `n` entries triggers no rehash.
+  /// try_emplace grows when (used_+1)*8 >= slots*7, i.e. the n-th insert
+  /// (used_ == n-1) rehashes when n*8 >= cap*7 — so the boundary case
+  /// cap*7 == n*8 must keep doubling too (`<=`, not `<`; the old `<` made
+  /// reserve(14) produce 16 slots and the 14th insert rehash anyway —
+  /// pinned by tests/util/test_arena.cpp's no-rehash-after-reserve test).
   void reserve(std::size_t n) {
     if (n == 0) return;
     std::size_t cap = kMinCapacity;
-    while (cap * 7 < n * 8) cap *= 2;  // keep load factor under 7/8
+    while (cap * 7 <= n * 8) cap *= 2;  // keep load factor under 7/8
     if (cap > slots()) rehash(cap);
+  }
+
+  /// Slot count (the allocated table width); stable across clear().
+  std::size_t capacity() const { return slots(); }
+
+  /// Forget every entry, keep the allocation — the reuse path for scratch
+  /// tables (EGraph::repair) and reusable e-graphs (EGraph::clear).
+  void clear() {
+    if (size_ == 0 && used_ == 0) return;
+    std::fill(state_.begin(), state_.end(), static_cast<std::uint8_t>(kEmpty));
+    size_ = 0;
+    used_ = 0;
   }
 
   /// Pointer to the class id mapped to `node`, or nullptr when absent.
@@ -127,9 +145,16 @@ class HashCons {
   }
 
   void rehash(std::size_t cap) {
-    std::vector<ENode> old_keys = std::move(keys_);
-    std::vector<EClassId> old_vals = std::move(vals_);
-    std::vector<std::uint8_t> old_state = std::move(state_);
+    // Double-buffer through member scratch instead of moving into locals:
+    // the buffers swapped out here come back as the target of the *next*
+    // rehash, so a steady-state tombstone flush (same capacity every time)
+    // reuses warm storage instead of paying three allocations per flush.
+    old_keys_.swap(keys_);
+    old_vals_.swap(vals_);
+    old_state_.swap(state_);
+    std::vector<ENode>& old_keys = old_keys_;
+    std::vector<EClassId>& old_vals = old_vals_;
+    std::vector<std::uint8_t>& old_state = old_state_;
     keys_.assign(cap, ENode{});
     vals_.assign(cap, kNoEClass);
     state_.assign(cap, kEmpty);
@@ -148,6 +173,10 @@ class HashCons {
   std::vector<ENode> keys_;          // contiguous interned e-node storage
   std::vector<EClassId> vals_;
   std::vector<std::uint8_t> state_;  // kEmpty / kFull / kTombstone per slot
+  // Rehash double buffers (see rehash()); sized like the table itself.
+  std::vector<ENode> old_keys_;
+  std::vector<EClassId> old_vals_;
+  std::vector<std::uint8_t> old_state_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;  // live entries
   std::size_t used_ = 0;  // live entries + tombstones

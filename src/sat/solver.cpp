@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
+#include <cstring>
 
 #include "util/timer.hpp"
 
@@ -39,7 +39,11 @@ SatVar Solver::new_vars(std::uint32_t n) {
     watches_.emplace_back();
     heap_pos_.push_back(-1);
     heap_insert(first + i);
+    seen_.push_back(0);
   }
+  // Decision levels range over [0, num_vars]; size the LBD stamp array once
+  // here so the conflict loop never allocates.
+  lbd_marks_.resize(num_vars() + 1, 0);
   return first;
 }
 
@@ -93,36 +97,53 @@ SatVar Solver::heap_pop() {
   return top;
 }
 
-void Solver::add_clause(std::vector<SatLit> lits) {
+std::uint32_t Solver::alloc_clause(const SatLit* first, std::size_t n,
+                                   bool learned) {
+  Clause c;
+  c.offset = static_cast<std::uint32_t>(lit_store_.size());
+  c.size = static_cast<std::uint32_t>(n);
+  c.learned = learned;
+  lit_store_.insert(lit_store_.end(), first, first + n);
+  clauses_.push_back(c);
+  return static_cast<std::uint32_t>(clauses_.size() - 1);
+}
+
+void Solver::add_clause(const SatLit* first, const SatLit* last) {
   if (unsat_) return;
-  // Normalize: drop duplicates and satisfied-at-level-0 literals.
-  std::sort(lits.begin(), lits.end());
-  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-  std::vector<SatLit> kept;
-  for (SatLit l : lits) {
-    if (std::binary_search(lits.begin(), lits.end(), sat_neg(l))) return;  // tautology
+  // Normalize in reused scratch: drop duplicates and satisfied-at-level-0
+  // literals (the caller's range is copied, so no aliasing hazards).
+  add_scratch_.assign(first, last);
+  std::sort(add_scratch_.begin(), add_scratch_.end());
+  add_scratch_.erase(std::unique(add_scratch_.begin(), add_scratch_.end()),
+                     add_scratch_.end());
+  // Tautology: l and sat_neg(l) are numerically adjacent (2v, 2v+1), so
+  // after sort+unique a complementary pair sits next to each other.
+  for (std::size_t i = 0; i + 1 < add_scratch_.size(); ++i) {
+    if (sat_neg(add_scratch_[i]) == add_scratch_[i + 1]) return;
+  }
+  std::size_t kept = 0;
+  for (SatLit l : add_scratch_) {
     std::uint8_t v = value(l);
     if (v == 1 && level_[sat_var(l)] == 0) return;  // already satisfied
     if (v == 0 && level_[sat_var(l)] == 0) continue;  // falsified forever
-    kept.push_back(l);
+    add_scratch_[kept++] = l;
   }
-  if (kept.empty()) {
+  if (kept == 0) {
     unsat_ = true;
     return;
   }
-  if (kept.size() == 1) {
-    if (!enqueue(kept[0], -1)) unsat_ = true;
+  if (kept == 1) {
+    if (!enqueue(add_scratch_[0], -1)) unsat_ = true;
     if (propagate() >= 0) unsat_ = true;
     return;
   }
-  clauses_.push_back(Clause{std::move(kept), false});
-  attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+  attach(alloc_clause(add_scratch_.data(), kept, false));
 }
 
 void Solver::attach(std::uint32_t ci) {
-  const Clause& c = clauses_[ci];
-  watches_[sat_neg(c.lits[0])].push_back(Watch{ci, c.lits[1]});
-  watches_[sat_neg(c.lits[1])].push_back(Watch{ci, c.lits[0]});
+  const SatLit* cl = clause_lits_const(clauses_[ci]);
+  watches_[sat_neg(cl[0])].push_back(Watch{ci, cl[1]});
+  watches_[sat_neg(cl[1])].push_back(Watch{ci, cl[0]});
 }
 
 bool Solver::enqueue(SatLit lit, std::int32_t reason) {
@@ -150,19 +171,20 @@ std::int32_t Solver::propagate() {
         continue;
       }
       Clause& c = clauses_[w.clause];
-      // Ensure the falsified literal is lits[1].
+      SatLit* cl = clause_lits(c);
+      // Ensure the falsified literal is cl[1].
       SatLit falsified = sat_neg(lit);
-      if (c.lits[0] == falsified) std::swap(c.lits[0], c.lits[1]);
-      if (value(c.lits[0]) == 1) {
-        watch_list[keep++] = Watch{w.clause, c.lits[0]};
+      if (cl[0] == falsified) std::swap(cl[0], cl[1]);
+      if (value(cl[0]) == 1) {
+        watch_list[keep++] = Watch{w.clause, cl[0]};
         continue;
       }
       // Look for a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != 0) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[sat_neg(c.lits[1])].push_back(Watch{w.clause, c.lits[0]});
+      for (std::size_t k = 2; k < c.size; ++k) {
+        if (value(cl[k]) != 0) {
+          std::swap(cl[1], cl[k]);
+          watches_[sat_neg(cl[1])].push_back(Watch{w.clause, cl[0]});
           moved = true;
           break;
         }
@@ -170,7 +192,7 @@ std::int32_t Solver::propagate() {
       if (moved) continue;
       // Unit or conflicting.
       watch_list[keep++] = w;
-      if (!enqueue(c.lits[0], static_cast<std::int32_t>(w.clause))) {
+      if (!enqueue(cl[0], static_cast<std::int32_t>(w.clause))) {
         // Conflict: keep the remaining watches and report.
         for (std::size_t k = i + 1; k < watch_list.size(); ++k) {
           watch_list[keep++] = watch_list[k];
@@ -199,7 +221,10 @@ void Solver::analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
                      std::uint32_t& backtrack_level) {
   learnt.clear();
   learnt.push_back(0);  // slot for the asserting literal
-  std::vector<bool> seen(num_vars(), false);
+  // `seen_` is a member: zeroed vars are recorded in seen_touched_ and
+  // unmarked at the end, so the per-conflict cost is O(marked), not
+  // O(num_vars) worth of allocation + memset.
+  seen_touched_.clear();
   std::uint32_t counter = 0;
   SatLit p = 0;
   bool have_p = false;
@@ -210,12 +235,14 @@ void Solver::analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
   for (;;) {
     assert(reason_clause >= 0);
     const Clause& c = clauses_[reason_clause];
-    for (std::size_t j = 0; j < c.lits.size(); ++j) {
-      SatLit q = c.lits[j];
+    const SatLit* cl = clause_lits_const(c);
+    for (std::size_t j = 0; j < c.size; ++j) {
+      SatLit q = cl[j];
       if (have_p && q == p) continue;  // skip the implied literal itself
       SatVar v = sat_var(q);
-      if (seen[v] || level_[v] == 0) continue;
-      seen[v] = true;
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      seen_touched_.push_back(v);
       bump(v);
       if (level_[v] >= current_level) {
         ++counter;
@@ -223,10 +250,10 @@ void Solver::analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
         learnt.push_back(q);
       }
     }
-    // Select the next literal from the trail. `seen` stays set for the
+    // Select the next literal from the trail. `seen_` stays set for the
     // whole analysis so a variable can never re-enter the learnt clause
     // through a later reason (the clause must stay asserting).
-    while (!seen[sat_var(trail_[index - 1])]) --index;
+    while (seen_[sat_var(trail_[index - 1])] == 0) --index;
     --index;
     p = trail_[index];
     have_p = true;
@@ -234,6 +261,7 @@ void Solver::analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
     if (--counter == 0) break;
   }
   learnt[0] = sat_neg(p);
+  for (SatVar v : seen_touched_) seen_[v] = 0;
 
   backtrack_level = 0;
   if (learnt.size() > 1) {
@@ -268,36 +296,49 @@ void Solver::reduce_learnt_db() {
   // currently a reason. Watches are rebuilt from scratch afterwards —
   // simple and safe, and reduction is rare enough that it's cheap.
   assert(trail_lim_.empty());
-  std::unordered_set<std::int32_t> reasons;
+  reason_mark_.assign(clauses_.size(), 0);
   for (SatLit lit : trail_) {
     std::int32_t r = reason_[sat_var(lit)];
-    if (r >= 0) reasons.insert(r);
+    if (r >= 0) reason_mark_[static_cast<std::size_t>(r)] = 1;
   }
-  std::vector<std::uint32_t> learnt;
+  reduce_order_.clear();
   for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
     const Clause& c = clauses_[ci];
-    if (c.learned && !c.deleted && c.lits.size() > 2 &&
-        !reasons.count(static_cast<std::int32_t>(ci))) {
-      learnt.push_back(ci);
+    if (c.learned && !c.deleted && c.size > 2 && reason_mark_[ci] == 0) {
+      reduce_order_.push_back(ci);
     }
   }
-  std::sort(learnt.begin(), learnt.end(), [&](std::uint32_t a, std::uint32_t b) {
-    if (clauses_[a].lbd != clauses_[b].lbd) {
-      return clauses_[a].lbd > clauses_[b].lbd;
-    }
-    return clauses_[a].lits.size() > clauses_[b].lits.size();
-  });
-  std::size_t to_delete = learnt.size() / 2;
+  std::sort(reduce_order_.begin(), reduce_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (clauses_[a].lbd != clauses_[b].lbd) {
+                return clauses_[a].lbd > clauses_[b].lbd;
+              }
+              return clauses_[a].size > clauses_[b].size;
+            });
+  std::size_t to_delete = reduce_order_.size() / 2;
   for (std::size_t i = 0; i < to_delete; ++i) {
-    Clause& c = clauses_[learnt[i]];
+    Clause& c = clauses_[reduce_order_[i]];
     c.deleted = true;
-    c.lits.clear();
-    c.lits.shrink_to_fit();
+    c.size = 0;
   }
+  // Compact the literal arena in place: clauses_ is in ascending-offset
+  // order (offsets are handed out monotonically and never reassigned), so
+  // a single forward pass slides every surviving clause's literals over the
+  // holes the deleted ones left. Clause *indices* are untouched — reason_
+  // entries and watch payloads stay valid.
+  std::size_t write = 0;
+  for (Clause& c : clauses_) {
+    if (c.deleted || c.size == 0) continue;
+    std::memmove(lit_store_.data() + write, lit_store_.data() + c.offset,
+                 c.size * sizeof(SatLit));
+    c.offset = static_cast<std::uint32_t>(write);
+    write += c.size;
+  }
+  lit_store_.resize(write);
   // Rebuild every watch list.
   for (auto& w : watches_) w.clear();
   for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
-    if (!clauses_[ci].deleted && clauses_[ci].lits.size() >= 2) attach(ci);
+    if (!clauses_[ci].deleted && clauses_[ci].size >= 2) attach(ci);
   }
 }
 
@@ -318,22 +359,30 @@ void Solver::analyze_final(SatLit p) {
   failed_.clear();
   failed_.push_back(p);
   if (trail_lim_.empty()) return;  // implied at level 0: {p} alone suffices
-  std::vector<bool> seen(num_vars(), false);
-  seen[sat_var(p)] = true;
+  seen_touched_.clear();
+  seen_[sat_var(p)] = 1;
+  seen_touched_.push_back(sat_var(p));
   for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
     SatVar v = sat_var(trail_[i]);
-    if (!seen[v]) continue;
+    if (seen_[v] == 0) continue;
     std::int32_t r = reason_[v];
     if (r < 0) {
       // A decision above level 0 during assumption re-establishment is
       // always an assumed literal.
       if (trail_[i] != p) failed_.push_back(trail_[i]);
     } else {
-      for (SatLit l : clauses_[r].lits) {
-        if (level_[sat_var(l)] > 0) seen[sat_var(l)] = true;
+      const Clause& c = clauses_[r];
+      const SatLit* cl = clause_lits_const(c);
+      for (std::size_t j = 0; j < c.size; ++j) {
+        SatVar lv = sat_var(cl[j]);
+        if (level_[lv] > 0 && seen_[lv] == 0) {
+          seen_[lv] = 1;
+          seen_touched_.push_back(lv);
+        }
       }
     }
   }
+  for (SatVar v : seen_touched_) seen_[v] = 0;
 }
 
 SatResult Solver::solve(const std::vector<SatLit>& assumptions,
@@ -364,7 +413,7 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
         unsat_ = true;
         return SatResult::kUnsat;
       }
-      std::vector<SatLit> learnt;
+      std::vector<SatLit>& learnt = learnt_scratch_;
       std::uint32_t bt_level = 0;
       analyze(conflict, learnt, bt_level);
       // Backtrack to the asserting level even when that unassigns
@@ -382,16 +431,24 @@ SatResult Solver::solve(const std::vector<SatLit>& assumptions,
         }
         // Re-assert assumptions on the next loop iterations.
       } else {
-        Clause clause{learnt, true, false, 0};
-        // LBD ("glue"): number of distinct decision levels in the clause.
-        std::unordered_set<std::uint32_t> levels;
-        for (SatLit l : learnt) levels.insert(level_[sat_var(l)]);
-        clause.lbd = static_cast<std::uint32_t>(levels.size());
-        clauses_.push_back(std::move(clause));
+        std::uint32_t ci = alloc_clause(learnt.data(), learnt.size(), true);
+        // LBD ("glue"): number of distinct decision levels in the clause,
+        // counted with a stamped per-level mark array — no per-conflict
+        // hash set.
+        ++lbd_stamp_;
+        std::uint32_t distinct = 0;
+        for (SatLit l : learnt) {
+          std::uint32_t lvl = level_[sat_var(l)];
+          if (lbd_marks_[lvl] != lbd_stamp_) {
+            lbd_marks_[lvl] = lbd_stamp_;
+            ++distinct;
+          }
+        }
+        clauses_[ci].lbd = distinct;
         ++stats_.learned;
         ++live_learnt;
-        attach(static_cast<std::uint32_t>(clauses_.size() - 1));
-        if (!enqueue(learnt[0], static_cast<std::int32_t>(clauses_.size() - 1))) {
+        attach(ci);
+        if (!enqueue(learnt[0], static_cast<std::int32_t>(ci))) {
           unsat_ = true;
           return SatResult::kUnsat;
         }

@@ -37,11 +37,21 @@ class Solver {
   SatVar new_vars(std::uint32_t n = 1);
   std::uint32_t num_vars() const { return static_cast<std::uint32_t>(assign_.size()); }
 
-  /// Add a clause (empty clause makes the instance trivially UNSAT).
-  void add_clause(std::vector<SatLit> lits);
-  void add_unit(SatLit a) { add_clause({a}); }
-  void add_binary(SatLit a, SatLit b) { add_clause({a, b}); }
-  void add_ternary(SatLit a, SatLit b, SatLit c) { add_clause({a, b, c}); }
+  /// Add a clause (empty clause makes the instance trivially UNSAT). The
+  /// literals are copied; the range must not alias solver-internal storage.
+  void add_clause(const SatLit* first, const SatLit* last);
+  void add_clause(const std::vector<SatLit>& lits) {
+    add_clause(lits.data(), lits.data() + lits.size());
+  }
+  void add_unit(SatLit a) { add_clause(&a, &a + 1); }
+  void add_binary(SatLit a, SatLit b) {
+    const SatLit lits[2] = {a, b};
+    add_clause(lits, lits + 2);
+  }
+  void add_ternary(SatLit a, SatLit b, SatLit c) {
+    const SatLit lits[3] = {a, b, c};
+    add_clause(lits, lits + 3);
+  }
 
   /// Solve under optional assumptions. `conflict_limit` 0 = no limit;
   /// exceeding it within this call returns kUndecided (the cec/fraig effort
@@ -76,8 +86,13 @@ class Solver {
  private:
   enum : std::uint8_t { kUndef = 2 };
 
+  /// Clause header: the literals live as a contiguous run inside the shared
+  /// `lit_store_` arena (MiniSat's clause-arena layout) instead of one heap
+  /// vector per clause — adding, propagating over and deleting clauses does
+  /// no per-clause allocator traffic, and propagation walks one flat array.
   struct Clause {
-    std::vector<SatLit> lits;
+    std::uint32_t offset = 0;  // first literal's index into lit_store_
+    std::uint32_t size = 0;    // number of literals
     bool learned = false;
     bool deleted = false;
     std::uint32_t lbd = 0;  // glue: #decision levels in the clause at learn time
@@ -93,6 +108,13 @@ class Solver {
   std::int32_t propagate();  // returns conflicting clause index or -1
   void analyze(std::int32_t conflict, std::vector<SatLit>& learnt,
                std::uint32_t& backtrack_level);
+
+  SatLit* clause_lits(const Clause& c) { return lit_store_.data() + c.offset; }
+  const SatLit* clause_lits_const(const Clause& c) const {
+    return lit_store_.data() + c.offset;
+  }
+  /// Append a clause header + literals to the arena and return its index.
+  std::uint32_t alloc_clause(const SatLit* first, std::size_t n, bool learned);
   void backtrack(std::uint32_t level);
   SatLit pick_branch();
   void bump(SatVar v);
@@ -105,6 +127,7 @@ class Solver {
   void attach(std::uint32_t ci);
 
   std::vector<Clause> clauses_;
+  std::vector<SatLit> lit_store_;  // every clause's literals, contiguous
   std::vector<std::vector<Watch>> watches_;  // indexed by literal
   std::vector<std::uint8_t> assign_;         // per var: 0/1/kUndef
   std::vector<std::uint8_t> saved_phase_;
@@ -120,6 +143,17 @@ class Solver {
   std::vector<SatLit> failed_;  // see failed_assumptions()
   bool unsat_ = false;
   SolverStats stats_;
+
+  // Reused scratch (cleared, never reallocated per call) so the conflict
+  // loop — the solver's hot path — does no allocator traffic once warm:
+  std::vector<std::uint8_t> seen_;      // per-var mark for analyze()
+  std::vector<SatVar> seen_touched_;    // vars marked, to unmark afterwards
+  std::vector<SatLit> learnt_scratch_;  // the clause under construction
+  std::vector<SatLit> add_scratch_;     // add_clause normalization buffer
+  std::vector<std::uint32_t> lbd_marks_;  // per-level stamp for LBD counting
+  std::uint32_t lbd_stamp_ = 0;
+  std::vector<std::uint8_t> reason_mark_;   // reduce_learnt_db: is-a-reason
+  std::vector<std::uint32_t> reduce_order_;  // reduce_learnt_db: sort buffer
 
   // Indexed max-heap over variable activities (MiniSat's order heap):
   // decisions pop the most active unassigned variable in O(log n).

@@ -373,9 +373,16 @@ void SynthServer::handle_cancel(const std::shared_ptr<Session>& session,
 // --- workers ----------------------------------------------------------------
 
 void SynthServer::worker_loop() {
+  // One FlowContext per worker, reused across every job this thread runs:
+  // Pipeline::run re-initializes the working state, and the context's
+  // mapper/LUT workspaces (cut arenas, DP state) plus the shared matcher
+  // survive between jobs, so a warm worker serves the steady state without
+  // allocator traffic (the BENCH_alloc gate and
+  // tests/service/test_warm_cache.cpp pin this).
+  FlowContext ctx;
   std::shared_ptr<Job> job;
   while (queue_.pop(&job)) {
-    process(std::move(job));
+    process(std::move(job), ctx);
     job.reset();
   }
 }
@@ -396,7 +403,14 @@ Json make_cancelled(const std::string& id, FlowStopReason reason) {
 
 }  // namespace
 
-void SynthServer::process(std::shared_ptr<Job> job) {
+void SynthServer::process(std::shared_ptr<Job> job, FlowContext& ctx) {
+  // Drop the previous job's pointers immediately: observer and cancel
+  // referred to state owned by that job (and a stack frame of this
+  // function), and the early-return paths below bail out before the
+  // per-job rebind.
+  ctx.observer = nullptr;
+  ctx.cancel = nullptr;
+
   // The deadline covers queue wait too: a job that aged out while queued is
   // answered without running anything.
   double remaining = 0.0;
@@ -445,7 +459,9 @@ void SynthServer::process(std::shared_ptr<Job> job) {
     }
   }
 
-  FlowContext ctx;
+  // Rebind the worker's long-lived context to this job. Every per-job
+  // pointer is (re)assigned here — observer and cancel point at job-local
+  // state and must never leak into the next job on this worker.
   ctx.params = job->params;
   cache_->prepare(ctx);
   ctx.input = job->input;
@@ -453,7 +469,7 @@ void SynthServer::process(std::shared_ptr<Job> job) {
   ctx.cancel = &job->cancel;
   ctx.time_budget_s = remaining;
   ProgressObserver progress(this, job);
-  if (job->request.progress) ctx.observer = &progress;
+  ctx.observer = job->request.progress ? &progress : nullptr;
 
   FlowResult result;
   try {

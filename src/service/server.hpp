@@ -155,7 +155,10 @@ class SynthServer {
   void handle_submit(const std::shared_ptr<Session>& session, const Json& msg);
   void handle_cancel(const std::shared_ptr<Session>& session, const Json& msg);
   void worker_loop();
-  void process(std::shared_ptr<Job> job);
+  /// Run one job on this worker's long-lived FlowContext (see worker_loop:
+  /// reusing the context keeps the mapper workspaces' arenas warm across
+  /// jobs).
+  void process(std::shared_ptr<Job> job, FlowContext& ctx);
   void finish(const std::shared_ptr<Job>& job, const Json& frame);
 
   /// Write one frame under the session lock; a failure marks the session

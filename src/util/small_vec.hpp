@@ -79,12 +79,22 @@ class SmallVec {
   const T& back() const { return data()[size_ - 1]; }
 
   void push_back(const T& value) {
-    if (size_ == capacity_) grow(size_ + 1);
+    if (size_ == capacity_) {
+      // `value` may alias an element of this vector, and grow() frees the
+      // old heap block — copy it out first or the write below reads freed
+      // memory (tests/util/test_small_vec.cpp pins this under ASan).
+      T tmp = value;
+      grow(size_ + 1);
+      data()[size_++] = tmp;
+      return;
+    }
     data()[size_++] = value;
   }
 
   template <typename... Args>
   T& emplace_back(Args&&... args) {
+    // The temporary materialized here never aliases our storage, so this
+    // stays safe regardless of how push_back handles aliasing.
     push_back(T(std::forward<Args>(args)...));
     return back();
   }

@@ -2,6 +2,16 @@
 
 namespace emorphic {
 
+namespace {
+// The pool (if any) whose worker_loop owns the calling thread. A thread
+// belongs to at most one pool for its whole life, so a plain pointer is
+// enough to detect re-entrant submit/parallel_for and run inline instead of
+// deadlocking on a queue no free worker will ever drain.
+thread_local ThreadPool* tl_owning_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const { return tl_owning_pool == this; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -22,6 +32,13 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
+  if (on_worker_thread()) {
+    // Nested submission from our own worker: run inline. Queueing would
+    // risk deadlock once callers wait on the future while occupying the
+    // worker slot the task needs.
+    packaged();
+    return fut;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(packaged));
@@ -32,6 +49,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (on_worker_thread()) {
+    // Nested parallel_for (e.g. CutManager::enumerate_parallel under a
+    // pooled run_batch worker): the serial fallback keeps the result
+    // identical and cannot deadlock.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -41,6 +65,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  tl_owning_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

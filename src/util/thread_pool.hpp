@@ -23,10 +23,20 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; the returned future resolves when it completes.
+  /// Called from inside one of this pool's own workers, the task runs
+  /// inline instead (the future returns already resolved): queueing and
+  /// waiting from a worker can deadlock — every worker may end up blocked
+  /// in get() with the queued work behind it in the queue.
   std::future<void> submit(std::function<void()> task);
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for all of them.
+  /// From inside one of this pool's own workers the loop runs inline on the
+  /// calling worker (same nested-invocation deadlock guard as submit; the
+  /// nested path is exercised by tests/util/test_thread_pool.cpp).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
   std::size_t size() const { return workers_.size(); }
 

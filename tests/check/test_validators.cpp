@@ -260,8 +260,7 @@ TEST(CheckCuts, RejectsDuplicateLeafSets) {
     if (cuts.cuts(v).size() >= 2) victim = v;
   }
   ASSERT_NE(victim, 0u);
-  std::vector<Cut>& list = CheckProbe::cuts(cuts, victim);
-  list.insert(list.begin(), list.front());
+  CheckProbe::duplicate_front_cut(cuts, victim);
   std::string why = check::check_cuts(cuts);
   EXPECT_NE(why.find("node " + std::to_string(victim)), std::string::npos)
       << why;

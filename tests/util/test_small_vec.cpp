@@ -77,6 +77,35 @@ TEST(SmallVec, ClearAndShrinkReturnInline) {
   EXPECT_EQ(v[0], 9);
 }
 
+TEST(SmallVec, PushBackOwnElementAtCapacity) {
+  // Regression for the self-alias use-after-free: push_back(v[0]) exactly
+  // when size == capacity used to grow (freeing the old heap buffer) and
+  // then copy from the freed storage. ASan flags the broken version as a
+  // heap-use-after-free; without ASan the value silently corrupts.
+  SmallVec<std::uint32_t, 4> v;
+  v.push_back(0xA11CE);
+  while (v.size() < v.capacity()) v.push_back(v.size());
+  v.push_back(v[0]);  // at capacity: grow() relocates the element mid-call
+  EXPECT_EQ(v.back(), 0xA11CEu);
+
+  // Same hazard on every later growth boundary, including heap-to-heap.
+  for (int round = 0; round < 10; ++round) {
+    while (v.size() < v.capacity()) v.push_back(7);
+    v.push_back(v[0]);
+    EXPECT_EQ(v.back(), 0xA11CEu);
+  }
+}
+
+TEST(SmallVec, PushBackBackElementAtCapacity) {
+  // The other alias direction: the last element, which grow() copies too.
+  SmallVec<std::uint64_t, 2> v;
+  v.push_back(1);
+  v.push_back(0xFEED);  // now at inline capacity
+  v.push_back(v.back());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 0xFEEDu);
+}
+
 TEST(SmallVec, AtThrowsOutOfRange) {
   SmallVec<int, 2> v;
   v.push_back(1);

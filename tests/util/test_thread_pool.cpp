@@ -41,6 +41,43 @@ TEST(ThreadPool, TasksCanSubmitWork) {
   EXPECT_EQ(sum.load(), 28);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A task that calls parallel_for on its own pool used to deadlock: the
+  // outer tasks occupy every worker while each waits for inner work that no
+  // free worker exists to run. The guard detects re-entry from a worker
+  // thread and runs the loop body inline instead.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, NestedSubmitRunsInline) {
+  ThreadPool pool(1);  // one worker: a blocking nested wait can never finish
+  std::atomic<int> value{0};
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([&] { value.store(42); });
+    // Safe to block on: the guard already ran the inner task inline.
+    inner.get();
+  });
+  outer.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, NestedParallelForFromSubmittedTask) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(32);
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 6; ++t) {  // more tasks than workers
+    futures.push_back(pool.submit(
+        [&] { pool.parallel_for(32, [&](std::size_t i) { ++hits[i]; }); }));
+  }
+  for (auto& f : futures) f.get();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 6);
+}
+
 TEST(ThreadPool, DestructorJoinsCleanly) {
   std::atomic<int> counter{0};
   {
