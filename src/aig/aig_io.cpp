@@ -1,9 +1,11 @@
 #include "aig/aig_io.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace emorphic {
 
@@ -347,6 +349,237 @@ Aig read_aiger(const std::string& text) {
     aig.add_po(map[lit]);
   }
   return aig;
+}
+
+// ---------------------------------------------------------------------------
+// Binary AIGER
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// AIGER's delta encoding is LEB128: 7 payload bits per byte, high bit set
+// on every byte but the last.
+void put_delta(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Strict decimal parse of a whole token: nonempty, digits only, no overflow.
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || token.empty()) {
+    throw std::runtime_error(std::string("aiger binary: malformed ") + what +
+                             " '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string write_aiger_binary(const Aig& aig) {
+  // Same PIs-first remap as write_aiger; in the binary format the remap is
+  // mandatory, since variable numbering must be contiguous (inputs 1..I,
+  // ANDs I+1..I+A in definition order).
+  std::vector<std::uint32_t> var_to_aiger(aig.num_nodes(), 0);
+  std::uint32_t next = 1;
+  for (Var v : aig.pis()) var_to_aiger[v] = next++;
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (aig.is_and(v)) var_to_aiger[v] = next++;
+  }
+  auto to_aiger_lit = [&](Lit l) -> std::uint64_t {
+    return 2ull * var_to_aiger[lit_var(l)] + (lit_is_compl(l) ? 1u : 0u);
+  };
+
+  std::uint64_t m = aig.num_pis() + aig.num_ands();
+  std::string out = "aig " + std::to_string(m) + ' ' +
+                    std::to_string(aig.num_pis()) + " 0 " +
+                    std::to_string(aig.num_pos()) + ' ' +
+                    std::to_string(aig.num_ands()) + '\n';
+  for (Lit po : aig.pos()) {
+    out += std::to_string(to_aiger_lit(po));
+    out += '\n';
+  }
+  for (Var v = 1; v < aig.num_nodes(); ++v) {
+    if (!aig.is_and(v)) continue;
+    std::uint64_t lhs = 2ull * var_to_aiger[v];
+    std::uint64_t rhs0 = to_aiger_lit(aig.fanin0(v));
+    std::uint64_t rhs1 = to_aiger_lit(aig.fanin1(v));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    // Fanins remap below their AND (PIs <= I, earlier ANDs earlier), so
+    // lhs > rhs0 >= rhs1 as the format requires.
+    put_delta(out, lhs - rhs0);
+    put_delta(out, rhs0 - rhs1);
+  }
+  for (std::uint32_t k = 0; k < aig.num_pis(); ++k) {
+    out += 'i' + std::to_string(k) + ' ' + aig.pi_name(k) + '\n';
+  }
+  for (std::uint32_t k = 0; k < aig.num_pos(); ++k) {
+    out += 'o' + std::to_string(k) + ' ' + aig.po_name(k) + '\n';
+  }
+  return out;
+}
+
+Aig read_aiger_binary(const std::string& bytes) {
+  // Hardened to the same standard as read_aiger: truncation, fabricated
+  // counts, malformed varints, and out-of-range deltas all throw
+  // std::runtime_error before any allocation is sized off them. Unlike
+  // read_aiger, the symbol table is parsed and PI/PO names preserved —
+  // partition checkpoints rely on names surviving the round trip.
+  std::size_t pos = 0;
+  auto read_line = [&](const char* section) -> std::string {
+    std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      throw std::runtime_error(
+          std::string("aiger binary: truncated (no newline) in ") + section);
+    }
+    std::string line = bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  // Header: exactly "aig M I L O A".
+  {
+    std::istringstream hdr(read_line("header"));
+    std::string tok;
+    std::vector<std::string> tokens;
+    while (hdr >> tok) tokens.push_back(tok);
+    if (tokens.size() != 6 || tokens[0] != "aig") {
+      throw std::runtime_error("aiger binary: expected 'aig M I L O A' header");
+    }
+    std::uint64_t m = parse_u64(tokens[1], "header count");
+    std::uint64_t i = parse_u64(tokens[2], "header count");
+    std::uint64_t l = parse_u64(tokens[3], "header count");
+    std::uint64_t o = parse_u64(tokens[4], "header count");
+    std::uint64_t a = parse_u64(tokens[5], "header count");
+    if (l != 0) throw std::runtime_error("aiger binary: latches not supported");
+    if (m != i + a) {
+      throw std::runtime_error(
+          "aiger binary: variable numbering must be contiguous (M == I + A)");
+    }
+    // Our writer emits a symbol line per PI and every AND takes two delta
+    // bytes, so declared counts beyond the input size are fabricated —
+    // reject them before sizing any allocation off them.
+    if (m > bytes.size() || o > bytes.size()) {
+      throw std::runtime_error("aiger binary: declared counts exceed input size");
+    }
+    if (m >= (1ull << 31)) {
+      throw std::runtime_error("aiger binary: variable count out of range");
+    }
+
+    Aig aig;
+    const std::uint64_t max_lit = 2 * m + 1;
+    std::vector<std::uint64_t> po_lits(static_cast<std::size_t>(o));
+    for (std::uint64_t k = 0; k < o; ++k) {
+      std::uint64_t lit = parse_u64(read_line("output section"), "output literal");
+      if (lit > max_lit) {
+        throw std::runtime_error("aiger binary: output literal " +
+                                 std::to_string(lit) + " out of range (max " +
+                                 std::to_string(max_lit) + ")");
+      }
+      po_lits[static_cast<std::size_t>(k)] = lit;
+    }
+
+    auto read_delta = [&](const char* what) -> std::uint64_t {
+      std::uint64_t value = 0;
+      unsigned shift = 0;
+      for (;;) {
+        if (pos >= bytes.size()) {
+          throw std::runtime_error(std::string("aiger binary: truncated ") +
+                                   what);
+        }
+        std::uint8_t byte = static_cast<std::uint8_t>(bytes[pos++]);
+        if (shift == 63 && (byte & 0x7e) != 0) {
+          throw std::runtime_error(std::string("aiger binary: ") + what +
+                                   " overflows");
+        }
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) return value;
+        shift += 7;
+        if (shift > 63) {
+          throw std::runtime_error(std::string("aiger binary: ") + what +
+                                   " overflows");
+        }
+      }
+    };
+
+    // AND fanins, decoded before any node is built: the symbol table sits
+    // after the binary section, and PIs must carry their names from
+    // construction, so structure is staged here and built at the end.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> and_rhs(
+        static_cast<std::size_t>(a));
+    for (std::uint64_t k = 0; k < a; ++k) {
+      std::uint64_t lhs = 2 * (i + 1 + k);
+      std::uint64_t delta0 = read_delta("AND delta");
+      std::uint64_t delta1 = read_delta("AND delta");
+      if (delta0 == 0 || delta0 > lhs || delta1 > lhs - delta0) {
+        throw std::runtime_error("aiger binary: AND " + std::to_string(lhs) +
+                                 " has out-of-range deltas");
+      }
+      std::uint64_t rhs0 = lhs - delta0;
+      and_rhs[static_cast<std::size_t>(k)] = {rhs0, rhs0 - delta1};
+    }
+
+    std::vector<std::string> pi_names(static_cast<std::size_t>(i));
+    std::vector<std::string> po_names(static_cast<std::size_t>(o));
+    while (pos < bytes.size()) {
+      std::string line = read_line("symbol section");
+      if (line == "c") break;  // comment section: ignore the rest
+      if (line.empty() || (line[0] != 'i' && line[0] != 'o')) {
+        throw std::runtime_error("aiger binary: malformed symbol line '" +
+                                 line + "'");
+      }
+      std::size_t space = line.find(' ');
+      if (space == std::string::npos) {
+        throw std::runtime_error("aiger binary: malformed symbol line '" +
+                                 line + "'");
+      }
+      std::uint64_t index =
+          parse_u64(line.substr(1, space - 1), "symbol index");
+      std::string name = line.substr(space + 1);
+      if (line[0] == 'i') {
+        if (index >= i) {
+          throw std::runtime_error("aiger binary: input symbol index " +
+                                   std::to_string(index) + " out of range");
+        }
+        pi_names[static_cast<std::size_t>(index)] = std::move(name);
+      } else {
+        if (index >= o) {
+          throw std::runtime_error("aiger binary: output symbol index " +
+                                   std::to_string(index) + " out of range");
+        }
+        po_names[static_cast<std::size_t>(index)] = std::move(name);
+      }
+    }
+
+    // Build: variables 1..I are the implicit inputs, I+1..I+A the ANDs in
+    // definition order. Deltas were range-checked against lhs above, so
+    // every fanin variable is already defined when referenced.
+    std::vector<Lit> var_lit(static_cast<std::size_t>(m) + 1, kLitFalse);
+    for (std::uint64_t k = 0; k < i; ++k) {
+      var_lit[static_cast<std::size_t>(k) + 1] =
+          make_lit(aig.add_pi(pi_names[static_cast<std::size_t>(k)]));
+    }
+    auto to_lit = [&](std::uint64_t aiger_lit) -> Lit {
+      return lit_notcond(var_lit[static_cast<std::size_t>(aiger_lit >> 1)],
+                         (aiger_lit & 1) != 0);
+    };
+    for (std::uint64_t k = 0; k < a; ++k) {
+      const auto& [rhs0, rhs1] = and_rhs[static_cast<std::size_t>(k)];
+      var_lit[static_cast<std::size_t>(i + 1 + k)] =
+          aig.make_and(to_lit(rhs0), to_lit(rhs1));
+    }
+    for (std::uint64_t k = 0; k < o; ++k) {
+      aig.add_po(to_lit(po_lits[static_cast<std::size_t>(k)]),
+                 po_names[static_cast<std::size_t>(k)]);
+    }
+    return aig;
+  }
 }
 
 }  // namespace emorphic

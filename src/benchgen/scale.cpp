@@ -1,0 +1,45 @@
+#include "benchgen/scale.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace emorphic {
+
+Aig tile_circuit(const Aig& base, unsigned copies) {
+  if (copies == 0) {
+    throw std::invalid_argument("tile_circuit: need at least one copy");
+  }
+  Aig out;
+  for (unsigned k = 0; k < copies; ++k) {
+    std::string suffix = "_t" + std::to_string(k);
+    std::vector<Lit> map(base.num_nodes(), kLitFalse);
+    for (std::uint32_t i = 0; i < base.num_pis(); ++i) {
+      map[base.pis()[i]] = make_lit(out.add_pi(base.pi_name(i) + suffix));
+    }
+    auto translate = [&map](Lit l) {
+      return lit_notcond(map[lit_var(l)], lit_is_compl(l));
+    };
+    for (Var v = 1; v < base.num_nodes(); ++v) {
+      if (!base.is_and(v)) continue;
+      map[v] = out.make_and(translate(base.fanin0(v)),
+                            translate(base.fanin1(v)));
+    }
+    for (std::uint32_t i = 0; i < base.num_pos(); ++i) {
+      out.add_po(translate(base.po(i)), base.po_name(i) + suffix);
+    }
+  }
+  return out;
+}
+
+Aig tile_to_ands(const Aig& base, std::size_t target_ands) {
+  if (base.num_ands() == 0) {
+    throw std::invalid_argument("tile_to_ands: base circuit has no AND nodes");
+  }
+  std::size_t per_copy = base.num_ands();
+  std::size_t copies = (target_ands + per_copy - 1) / per_copy;
+  if (copies == 0) copies = 1;
+  return tile_circuit(base, static_cast<unsigned>(copies));
+}
+
+}  // namespace emorphic

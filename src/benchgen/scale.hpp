@@ -1,0 +1,25 @@
+#pragma once
+// Industrial-scale workload builders for the partitioned flow: tile a
+// benchmark circuit into many disjoint copies to reach a target AND count.
+// Copies share nothing (fresh PIs/POs per tile), so structural hashing
+// cannot collapse them and the node count scales linearly — which is what
+// lets bench/micro_scale push the EPFL-like generators past 10^6 AND nodes
+// without inventing new circuit families.
+
+#include <cstddef>
+
+#include "aig/aig.hpp"
+
+namespace emorphic {
+
+/// Tile `copies` disjoint instances of `base` into one AIG. Copy k gets its
+/// own PIs/POs, names suffixed "_tk". Throws std::invalid_argument for zero
+/// copies.
+Aig tile_circuit(const Aig& base, unsigned copies);
+
+/// Tile `base` with just enough copies that the result holds at least
+/// `target_ands` AND nodes. Throws std::invalid_argument when `base` has no
+/// AND nodes to scale.
+Aig tile_to_ands(const Aig& base, std::size_t target_ands);
+
+}  // namespace emorphic

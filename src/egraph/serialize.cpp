@@ -9,6 +9,64 @@ namespace emorphic {
 
 namespace {
 
+// Typed accessors for the deserializer: the Json value class crashes (null
+// shared_ptr deref) on as_array()/as_object() against the wrong type and
+// silently coerces on as_string()/as_bool()/as_int(), so every read of
+// client-supplied text goes through these, which throw std::runtime_error
+// naming the offending location instead.
+const JsonArray& expect_array(const Json& v, const std::string& where) {
+  if (!v.is_array()) throw std::runtime_error("dsl: " + where + " is not an array");
+  return v.as_array();
+}
+
+const JsonObject& expect_object(const Json& v, const std::string& where) {
+  if (!v.is_object()) {
+    throw std::runtime_error("dsl: " + where + " is not an object");
+  }
+  return v.as_object();
+}
+
+const std::string& expect_string(const Json& v, const std::string& where) {
+  if (!v.is_string()) {
+    throw std::runtime_error("dsl: " + where + " is not a string");
+  }
+  return v.as_string();
+}
+
+bool expect_bool(const Json& v, const std::string& where) {
+  if (v.type() != Json::Type::kBool) {
+    throw std::runtime_error("dsl: " + where + " is not a boolean");
+  }
+  return v.as_bool();
+}
+
+std::int64_t expect_id(const Json& v, const std::string& where) {
+  if (!v.is_number()) {
+    throw std::runtime_error("dsl: " + where + " is not a number");
+  }
+  double d = v.as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::int64_t>(d))) {
+    throw std::runtime_error("dsl: " + where + " is not a non-negative integer");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+// Class keys must be whole non-negative decimal tokens: std::stoll would
+// accept "12abc", leading whitespace, and signs, silently renaming classes.
+std::int64_t parse_class_key(const std::string& key) {
+  if (key.empty() || key.size() > 18) {
+    throw std::runtime_error("dsl: malformed class id '" + key + "'");
+  }
+  std::int64_t value = 0;
+  for (char c : key) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("dsl: malformed class id '" + key + "'");
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
 const char* op_key(Op op) {
   switch (op) {
     case Op::kConst0:
@@ -86,15 +144,17 @@ std::string egraph_to_dsl(const EGraph& egraph,
 DeserializedEGraph dsl_to_egraph(const std::string& text) {
   Json doc = Json::parse(text);
   DeserializedEGraph out;
-  for (const Json& v : doc.at("inputs").as_array()) {
-    out.var_names.push_back(v.as_string());
+  for (const Json& v : expect_array(doc.at("inputs"), "inputs")) {
+    out.var_names.push_back(expect_string(v, "input name"));
   }
   std::unordered_map<std::string, std::uint32_t> symbol_of;
   for (std::uint32_t i = 0; i < out.var_names.size(); ++i) {
-    symbol_of[out.var_names[i]] = i;
+    if (!symbol_of.emplace(out.var_names[i], i).second) {
+      throw std::runtime_error("dsl: duplicate input name " + out.var_names[i]);
+    }
   }
 
-  const JsonObject& classes = doc.at("egraph").as_object();
+  const JsonObject& classes = expect_object(doc.at("egraph"), "egraph");
 
   // Two-pass construction: first create a placeholder class per old id by
   // adding one representative node once its children exist (topological via
@@ -107,35 +167,65 @@ DeserializedEGraph dsl_to_egraph(const std::string& text) {
     std::uint32_t symbol = 0;
     std::vector<std::int64_t> children;
   };
+  std::unordered_map<std::int64_t, bool> declared;  // old id -> seen
+  for (const auto& [key, entry] : classes) {
+    (void)entry;
+    declared.emplace(parse_class_key(key), true);
+  }
+
   std::vector<PendingNode> pending;
   for (const auto& [key, entry] : classes) {
-    std::int64_t old_id = std::stoll(key);
-    for (const Json& jnode : entry.at("nodes").as_array()) {
-      const JsonObject& obj = jnode.as_object();
-      if (obj.size() != 1) throw std::runtime_error("dsl: bad node object");
+    std::int64_t old_id = parse_class_key(key);
+    const std::string where = "class " + key;
+    for (const Json& jnode :
+         expect_array(entry.at("nodes"), where + " nodes")) {
+      const JsonObject& obj = expect_object(jnode, where + " node");
+      if (obj.size() != 1) {
+        throw std::runtime_error("dsl: " + where +
+                                 " node is not a single-operator object");
+      }
       const auto& [op_str, payload] = *obj.begin();
       PendingNode p;
       p.cls = old_id;
       if (op_str == "Symbol") {
         p.op = Op::kVar;
-        auto it = symbol_of.find(payload.as_string());
+        const std::string& sym = expect_string(payload, where + " Symbol");
+        auto it = symbol_of.find(sym);
         if (it == symbol_of.end()) {
-          throw std::runtime_error("dsl: unknown symbol " + payload.as_string());
+          throw std::runtime_error("dsl: unknown symbol " + sym);
         }
         p.symbol = it->second;
-      } else if (op_str == "Const0") {
-        p.op = Op::kConst0;
-      } else if (op_str == "Const1") {
-        p.op = Op::kConst1;
+      } else if (op_str == "Const0" || op_str == "Const1") {
+        p.op = op_str == "Const0" ? Op::kConst0 : Op::kConst1;
+        if (!expect_array(payload, where + ' ' + op_str).empty()) {
+          throw std::runtime_error("dsl: " + where + ' ' + op_str +
+                                   " takes no children");
+        }
       } else if (op_str == "NOT" || op_str == "AND" || op_str == "OR" ||
                  op_str == "XOR") {
         p.op = op_str == "NOT"  ? Op::kNot
                : op_str == "AND" ? Op::kAnd
                : op_str == "OR"  ? Op::kOr
                                  : Op::kXor;
-        for (const Json& c : payload.as_array()) p.children.push_back(c.as_int());
+        for (const Json& c : expect_array(payload, where + ' ' + op_str)) {
+          std::int64_t child = expect_id(c, where + ' ' + op_str + " child");
+          if (!declared.count(child)) {
+            throw std::runtime_error("dsl: " + where +
+                                     " references undefined class " +
+                                     std::to_string(child));
+          }
+          p.children.push_back(child);
+        }
       } else {
         throw std::runtime_error("dsl: unknown operator " + op_str);
+      }
+      if (p.children.size() != op_arity(p.op)) {
+        // The OOB guard: an oversized child list would otherwise write past
+        // the ENode's two-slot children array.
+        throw std::runtime_error(
+            "dsl: " + where + ' ' + op_str + " has " +
+            std::to_string(p.children.size()) + " children (expected " +
+            std::to_string(op_arity(p.op)) + ")");
       }
       pending.push_back(std::move(p));
     }
@@ -189,11 +279,18 @@ DeserializedEGraph dsl_to_egraph(const std::string& text) {
   }
   out.egraph.rebuild();
 
-  for (const Json& jr : doc.at("roots").as_array()) {
+  for (const Json& jr : expect_array(doc.at("roots"), "roots")) {
+    expect_object(jr, "root");
     SerializedRoot r;
-    r.id = out.egraph.find(id_map.at(jr.at("id").as_int()));
-    r.complemented = jr.at("compl").as_bool();
-    r.name = jr.at("name").as_string();
+    std::int64_t old_id = expect_id(jr.at("id"), "root id");
+    auto it = id_map.find(old_id);
+    if (it == id_map.end()) {
+      throw std::runtime_error("dsl: root references undefined class " +
+                               std::to_string(old_id));
+    }
+    r.id = out.egraph.find(it->second);
+    r.complemented = expect_bool(jr.at("compl"), "root compl");
+    r.name = expect_string(jr.at("name"), "root name");
     out.roots.push_back(std::move(r));
   }
   return out;

@@ -1,14 +1,18 @@
 #include "flow/pipeline.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "aig/signature.hpp"
 #include "check/check.hpp"
 #include "check/validators.hpp"
 #include "egraph/rules.hpp"
+#include "egraph/snapshot.hpp"
 
 namespace emorphic {
 
@@ -56,6 +60,7 @@ FlowResult FlowContext::take_result() {
   result.sa = std::move(sa);
   result.fraig_stats = fraig_stats;
   result.choice_stats = choice_stats;
+  result.partition_stats = partition_stats;
   result.egraph_classes = egraph_classes;
   result.egraph_enodes = egraph_enodes;
   result.initial_enodes = initial_enodes;
@@ -123,6 +128,91 @@ void EgraphConversionStage::run(FlowContext& ctx) const {
 
 // --- Rewrite ----------------------------------------------------------------
 
+namespace {
+
+// Mid-saturation checkpointing ("EMCK"): after every saturation iteration
+// the Rewrite stage snapshots the (clean, just-rebuilt) e-graph to
+// FlowParams::checkpoint_path. A later run with the same circuit and
+// parameters restores the snapshot and runs only the remaining iterations;
+// because the runner's iterations are deterministic functions of the
+// e-graph state, the resumed trajectory is bit-identical to the
+// uninterrupted one (tests/flow/test_checkpoint.cpp). The file is written
+// to a sibling ".tmp" and renamed into place, so a kill mid-write leaves
+// the previous complete checkpoint, never a torn one.
+
+constexpr char kRewriteCkptMagic[4] = {'E', 'M', 'C', 'K'};
+constexpr std::uint64_t kRewriteCkptVersion = 1;
+
+std::uint64_t mix_u64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Everything the saturation trajectory depends on. A checkpoint whose
+/// fingerprint disagrees was taken under a different run and throws
+/// (restoring it would silently splice two unrelated saturations).
+std::uint64_t rewrite_ckpt_fingerprint(const FlowContext& ctx) {
+  std::uint64_t h = structural_signature(ctx.current);
+  auto fold = [&h](std::uint64_t v) { h = mix_u64(h ^ mix_u64(v)); };
+  fold(ctx.params.rewrite.max_iterations);
+  fold(ctx.params.rewrite.max_enodes);
+  fold(ctx.params.rewrite.max_matches_per_rule);
+  fold(ctx.seed);
+  return h;
+}
+
+/// Restore a checkpoint into `egraph`; returns iterations already done
+/// (0 when no checkpoint file exists). Throws SnapshotError on any
+/// mismatch or corruption.
+std::uint64_t load_rewrite_ckpt(const std::string& path,
+                                std::uint64_t fingerprint, EGraph& egraph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::string data(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>{});
+  if (data.empty()) return 0;
+  SnapshotReader r(data);
+  r.expect_magic(kRewriteCkptMagic, "rewrite checkpoint");
+  std::uint64_t version = r.varint("version");
+  if (version != kRewriteCkptVersion) {
+    throw SnapshotError("unsupported rewrite checkpoint version " +
+                        std::to_string(version));
+  }
+  if (r.varint("fingerprint") != fingerprint) {
+    throw SnapshotError(
+        "rewrite checkpoint was taken for a different circuit or "
+        "configuration (fingerprint mismatch) — delete it to start over");
+  }
+  std::uint64_t iterations = r.varint("iterations done");
+  std::uint64_t len = r.varint("snapshot length");
+  std::string snapshot = r.bytes(len, "e-graph snapshot");
+  r.expect_end("rewrite checkpoint");
+  egraph = snapshot_to_egraph(snapshot);
+  return iterations;
+}
+
+void save_rewrite_ckpt(const std::string& path, std::uint64_t fingerprint,
+                       std::uint64_t iterations, const EGraph& egraph) {
+  SnapshotWriter w;
+  w.magic(kRewriteCkptMagic);
+  w.varint(kRewriteCkptVersion);
+  w.varint(fingerprint);
+  w.varint(iterations);
+  std::string snapshot = egraph_to_snapshot(egraph);
+  w.varint(snapshot.size());
+  w.bytes(snapshot);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(w.str().data(), static_cast<std::streamsize>(w.str().size()));
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
 void RewriteStage::run(FlowContext& ctx) const {
   if (!ctx.egraph.has_value()) {
     throw std::runtime_error(
@@ -133,13 +223,40 @@ void RewriteStage::run(FlowContext& ctx) const {
     static const std::vector<Rewrite> default_rules = make_logic_rules();
     rules = &default_rules;
   }
+
+  // Saturation checkpointing is the whole-circuit mode's resume path; the
+  // partitioned flow checkpoints at window granularity instead and owns
+  // the file.
+  const bool checkpointing =
+      !ctx.params.checkpoint_path.empty() && !ctx.params.partition;
+  RunnerParams rewrite = ctx.params.rewrite;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t iterations_done = 0;
+  if (checkpointing) {
+    fingerprint = rewrite_ckpt_fingerprint(ctx);
+    iterations_done = load_rewrite_ckpt(ctx.params.checkpoint_path,
+                                        fingerprint, ctx.egraph->egraph);
+    if (iterations_done >= rewrite.max_iterations) {
+      rewrite.max_iterations = 0;  // everything already done: restore only
+    } else {
+      rewrite.max_iterations -= static_cast<unsigned>(iterations_done);
+    }
+  }
+
   RunnerHooks hooks;
-  hooks.on_iteration = [&ctx](const IterationStats& stats) {
+  std::uint64_t iteration_counter = iterations_done;
+  hooks.on_iteration = [&](const IterationStats& stats) {
+    // Checkpoint before the cancel poll: a run killed at iteration k can
+    // then resume from k, not k-1.
+    if (checkpointing) {
+      save_rewrite_ckpt(ctx.params.checkpoint_path, fingerprint,
+                        ++iteration_counter, ctx.egraph->egraph);
+    }
     if (ctx.observer != nullptr) ctx.observer->on_rewrite_iteration(stats, ctx);
     return !ctx.should_stop();
   };
   ctx.rewrite_report =
-      run_rewriting(ctx.egraph->egraph, *rules, ctx.params.rewrite, hooks);
+      run_rewriting(ctx.egraph->egraph, *rules, rewrite, hooks);
   ctx.egraph_classes = ctx.egraph->egraph.num_classes();
   ctx.egraph_enodes = ctx.egraph->egraph.num_enodes();
 }
@@ -302,6 +419,33 @@ void LutMapStage::run(FlowContext& ctx) const {
   ctx.qor.lev = ctx.current.num_levels();
 }
 
+// --- partition --------------------------------------------------------------
+
+void PartitionStage::run(FlowContext& ctx) const {
+  PartitionParams pp;
+  pp.window_size = ctx.params.window_size;
+  pp.seed = ctx.seed != 0 ? ctx.seed : ctx.params.sa.seed;
+  pp.rewrite = ctx.params.rewrite;
+  pp.window_fraig = ctx.params.fraig_post;
+  pp.fraig = ctx.params.fraig;
+  pp.window_cec = ctx.params.cec_params;
+  pp.checkpoint_path = ctx.params.checkpoint_path;
+  pp.cancel = ctx.cancel;
+  PartitionResult result = partition_optimize(ctx.current, pp);
+  ctx.partition_stats = result.stats;
+  if (!result.stats.completed) {
+    // Cancelled between chunks: the checkpoint holds the progress; leave
+    // the working network untouched so downstream stages (and the caller)
+    // see a consistent circuit.
+    ctx.note_stop(FlowStopReason::kCancelled);
+    return;
+  }
+  ctx.current = std::move(result.optimized);
+  ctx.netlist.reset();
+  ctx.netlist_is_current = false;
+  ctx.qor.lev = ctx.current.num_levels();
+}
+
 // --- stage registry ---------------------------------------------------------
 
 namespace {
@@ -327,6 +471,7 @@ std::map<std::string, StageFactory>& registry() {
     map["fraig"] = [] { return StagePtr(new FraigStage()); };
     map["choicemap"] = [] { return StagePtr(new ChoiceMapStage()); };
     map["lutmap"] = [] { return StagePtr(new LutMapStage()); };
+    map["partition"] = [] { return StagePtr(new PartitionStage()); };
     return map;
   }();
   return stages;
@@ -400,6 +545,7 @@ FlowResult Pipeline::run(FlowContext& ctx) const {
   ctx.sa = SaResult{};
   ctx.fraig_stats = FraigStats{};
   ctx.choice_stats = ChoiceExportStats{};
+  ctx.partition_stats = PartitionStats{};
   ctx.egraph_classes = 0;
   ctx.egraph_enodes = 0;
   ctx.initial_enodes = 0;
@@ -487,6 +633,18 @@ Pipeline Pipeline::baseline(const FlowParams& params) {
 }
 
 Pipeline Pipeline::emorphic(const FlowParams& params) {
+  if (params.partition) {
+    // The scaling mode: the whole-circuit conversion/rewrite/extract body
+    // cannot hold a million-gate design in one e-graph, so the partition
+    // stage runs the same saturation per window and stitches. The final
+    // Cec stage (gated by params.verify, like every flow) proves the
+    // stitched circuit against the input end to end.
+    Pipeline pipeline;
+    if (params.fraig_pre) pipeline.add(StagePtr(new FraigStage()));
+    pipeline.add(StagePtr(new PartitionStage()));
+    pipeline.add(StagePtr(new CecStage()));
+    return pipeline;
+  }
   Pipeline pipeline;
   if (params.fraig_pre) pipeline.add(StagePtr(new FraigStage()));
   pipeline.add(

@@ -31,6 +31,7 @@
 #include "flow/conversion.hpp"
 #include "mapper/tech_mapper.hpp"
 #include "opt/fraig.hpp"
+#include "opt/partition.hpp"
 #include "opt/resyn.hpp"
 #include "opt/sop_balance.hpp"
 #include "util/thread_pool.hpp"
@@ -135,6 +136,24 @@ struct FlowParams {
   /// with a check::CheckError naming the stage and the offending
   /// node/class. Costs one full structure walk per stage; off by default.
   bool paranoia = false;
+  /// Opt into windowed (partitioned) saturation in `Pipeline::emorphic
+  /// (params)`: the whole-circuit conversion/rewrite/extract body is
+  /// replaced by the "partition" stage (opt/partition.hpp), which
+  /// decomposes the circuit into bounded fanin-cone windows, saturates
+  /// each on the batch workers, CEC-gates every adopted window and
+  /// stitches them back. The scaling mode for circuits too large for one
+  /// e-graph. `fraig_post` becomes the per-window SAT sweep; mapping
+  /// stages are skipped (the partitioned flow reports structure QoR).
+  bool partition = false;
+  /// Maximum AND nodes per window for the partition stage.
+  std::uint32_t window_size = 1000;
+  /// Checkpoint file for crash-safe resume; empty disables checkpointing.
+  /// With `partition`, holds per-chunk window results ("EMPC"); otherwise
+  /// the Rewrite stage snapshots the e-graph after every saturation
+  /// iteration ("EMCK") and resumes from it bit-identically. CLI/test
+  /// surface only — the synthesis service deliberately does not expose it
+  /// (clients must not name server-side paths).
+  std::string checkpoint_path;
 };
 
 /// Quality-of-result summary of a finished flow.
@@ -196,6 +215,8 @@ struct FlowResult {
   FraigStats fraig_stats;
   /// Counters of the last executed "choicemap" stage (all-zero otherwise).
   ChoiceExportStats choice_stats;
+  /// Counters of the last executed "partition" stage (all-zero otherwise).
+  PartitionStats partition_stats;
   std::size_t egraph_classes = 0;
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
@@ -311,6 +332,7 @@ struct FlowContext {
   SaResult sa;
   FraigStats fraig_stats;
   ChoiceExportStats choice_stats;
+  PartitionStats partition_stats;
   std::size_t egraph_classes = 0;
   std::size_t egraph_enodes = 0;
   std::size_t initial_enodes = 0;
@@ -487,6 +509,22 @@ class ChoiceMapStage : public Stage {
 class LutMapStage : public Stage {
  public:
   const char* name() const override { return "lutmap"; }
+  void run(FlowContext& ctx) const override;
+};
+
+/// Windowed saturation of ctx.current (opt/partition.hpp): decompose into
+/// bounded fanin-cone windows, saturate/extract each window on a nested
+/// run_batch, SAT-gate every adopted window, stitch the results back.
+/// Configured by FlowParams::{window_size, checkpoint_path}; the per-window
+/// flow inherits params.rewrite, params.fraig (placed by fraig_post) and
+/// params.cec_params for the window gate. Stats land in
+/// FlowResult::partition_stats. When the external cancel flag stops the
+/// nested batch between chunks, ctx.current is left untouched (progress
+/// persists in the checkpoint file, not the context). Registered as
+/// "partition".
+class PartitionStage : public Stage {
+ public:
+  const char* name() const override { return "partition"; }
   void run(FlowContext& ctx) const override;
 };
 

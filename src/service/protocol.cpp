@@ -148,6 +148,15 @@ void apply_flow_params(FlowParams* params, const Json& overrides) {
             "]");
       }
       params->lut_size = k;
+    } else if (key == "partition") {
+      // Windowed saturation (opt/partition.hpp) for circuits too large for
+      // whole-circuit conversion. checkpoint_path is deliberately NOT
+      // exposed: clients must not name server-side filesystem paths.
+      params->partition = expect_bool(value, key);
+    } else if (key == "window_size") {
+      unsigned w = expect_unsigned(value, key);
+      if (w < 1) bad("field 'window_size' must be >= 1");
+      params->window_size = w;
     } else if (key == "paranoia") {
       // Stage-boundary deep validation (FlowParams::paranoia): a client can
       // turn it on per job, e.g. when reducing a miscompare.

@@ -1,0 +1,49 @@
+#include "benchgen/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "aig/aig_io.hpp"
+#include "benchgen/arith.hpp"
+
+namespace emorphic {
+namespace {
+
+TEST(Scale, TileCircuitMakesDisjointCopies) {
+  Aig base = make_adder(4);
+  Aig tiled = tile_circuit(base, 3);
+  EXPECT_EQ(tiled.num_pis(), 3 * base.num_pis());
+  EXPECT_EQ(tiled.num_pos(), 3 * base.num_pos());
+  EXPECT_EQ(tiled.num_ands(), 3 * base.num_ands());
+  // Tile names are suffixed so the copies stay distinguishable.
+  EXPECT_EQ(tiled.pi_name(0), base.pi_name(0) + "_t0");
+  EXPECT_EQ(tiled.pi_name(base.num_pis()), base.pi_name(0) + "_t1");
+  EXPECT_THROW(tile_circuit(base, 0), std::invalid_argument);
+}
+
+TEST(Scale, TileCircuitPreservesPerTileFunction) {
+  Rng rng(71);
+  Aig base = testing::random_aig(5, 3, 30, rng);
+  // One copy is the base circuit itself (same PI/PO order, renamed).
+  EXPECT_TRUE(testing::functionally_equal(base, tile_circuit(base, 1)));
+  // Tiling is deterministic: same input, same bytes.
+  Aig a = tile_circuit(base, 3);
+  Aig b = tile_circuit(base, 3);
+  EXPECT_EQ(write_aiger_binary(a), write_aiger_binary(b));
+}
+
+TEST(Scale, TileToAndsReachesTheTarget) {
+  Aig base = make_adder(6);
+  Aig big = tile_to_ands(base, 5000);
+  EXPECT_GE(big.num_ands(), 5000u);
+  EXPECT_LT(big.num_ands(), 5000u + base.num_ands());
+  // Degenerate targets still produce at least one copy.
+  EXPECT_EQ(tile_to_ands(base, 0).num_ands(), base.num_ands());
+  // A base with no ANDs can never reach a positive target.
+  Aig wires;
+  wires.add_po(make_lit(wires.add_pi()));
+  EXPECT_THROW(tile_to_ands(wires, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace emorphic

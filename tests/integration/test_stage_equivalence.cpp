@@ -81,6 +81,11 @@ std::map<std::string, Pipeline> stage_harnesses() {
     p.add("lutmap");  // plain k-LUT cover of ctx.current
     harness.emplace("lutmap", std::move(p));
   }
+  {
+    Pipeline p;
+    p.add("partition");  // windowed saturation + stitch (opt/partition.hpp)
+    harness.emplace("partition", std::move(p));
+  }
   return harness;
 }
 
@@ -96,6 +101,10 @@ FlowParams fast_params() {
   params.sa.iterations = 2;
   params.sa.moves_per_iteration = 4;
   params.fraig.conflict_limit = 5000;
+  // Small windows so the partition harness exercises real multi-window
+  // stitching on the gate circuits (not one degenerate whole-circuit
+  // window); the other stages ignore this knob.
+  params.window_size = 25;
   return params;
 }
 
@@ -238,6 +247,24 @@ TEST(StageEquivalence, LutmapPrebuiltFlowsStayEquivalent) {
           << "use_choicemap=" << choicemap;
       ASSERT_EQ(cec(aig, result.final_aig).status, CecStatus::kEquivalent);
     }
+  }
+}
+
+TEST(StageEquivalence, PartitionFlowStitchStaysEquivalent) {
+  // The prebuilt partition-mode pipeline (fraig_pre + partition + Cec):
+  // every gate circuit must stitch back SAT-provably equivalent, across
+  // multiple windows.
+  FlowParams params = fast_params();
+  params.partition = true;
+  params.window_size = 20;
+  params.verify = true;
+  for (auto& [circuit_name, aig] : gate_circuits()) {
+    FlowResult result = Pipeline::emorphic(params).run(aig, params);
+    ASSERT_TRUE(result.partition_stats.completed) << circuit_name;
+    EXPECT_GT(result.partition_stats.num_windows, 1u) << circuit_name;
+    ASSERT_EQ(result.verify_status, CecStatus::kEquivalent) << circuit_name;
+    ASSERT_EQ(cec(aig, result.final_aig).status, CecStatus::kEquivalent)
+        << "partition flow broke circuit '" << circuit_name << "'";
   }
 }
 

@@ -137,6 +137,7 @@ TEST(ApplyFlowParams, AppliesEveryDocumentedKey) {
   Json overrides = Json::parse(R"({
     "rounds": 3, "area_weight": 0.25, "verify": false,
     "fraig_pre": true, "fraig_post": true, "use_choicemap": true,
+    "partition": true, "window_size": 512,
     "sa": {"iterations": 7, "moves_per_iteration": 5, "num_threads": 3,
            "initial_temperature": 500.0},
     "rewrite": {"max_iterations": 9, "max_enodes": 1234,
@@ -151,6 +152,8 @@ TEST(ApplyFlowParams, AppliesEveryDocumentedKey) {
   EXPECT_TRUE(params.fraig_pre);
   EXPECT_TRUE(params.fraig_post);
   EXPECT_TRUE(params.use_choicemap);
+  EXPECT_TRUE(params.partition);
+  EXPECT_EQ(params.window_size, 512u);
   EXPECT_EQ(params.sa.iterations, 7u);
   EXPECT_EQ(params.sa.moves_per_iteration, 5u);
   EXPECT_EQ(params.sa.num_threads, 3u);
@@ -176,6 +179,19 @@ TEST(ApplyFlowParams, RejectsUnknownAndIllTypedKeys) {
   EXPECT_THROW(apply_flow_params(&params, negative), std::invalid_argument);
   Json not_object = Json::parse(R"({"sa": 3})");
   EXPECT_THROW(apply_flow_params(&params, not_object), std::invalid_argument);
+}
+
+TEST(ApplyFlowParams, ValidatesPartitionKeys) {
+  FlowParams params;
+  Json zero = Json::parse(R"({"window_size": 0})");
+  EXPECT_THROW(apply_flow_params(&params, zero), std::invalid_argument);
+  Json ill_typed = Json::parse(R"({"partition": 1})");
+  EXPECT_THROW(apply_flow_params(&params, ill_typed), std::invalid_argument);
+  // checkpoint_path is deliberately not a protocol key: clients must not
+  // name server-side filesystem paths.
+  Json path = Json::parse(R"({"checkpoint_path": "/tmp/x"})");
+  EXPECT_THROW(apply_flow_params(&params, path), std::invalid_argument);
+  EXPECT_TRUE(params.checkpoint_path.empty());
 }
 
 TEST(ParamsFingerprint, SeparatesFlowsAndOverrides) {
